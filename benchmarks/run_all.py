@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Standalone experiment harness: regenerate every figure's rows as CSV.
+
+Mirrors the paper artifact's scripts: each experiment prints
+``workload,graph,morphed_time,baseline_time,speedup`` rows (plus counter
+columns where the figure reports counters), and asserts baseline ==
+morphed results throughout.
+
+Run:  python benchmarks/run_all.py [--quick]
+
+``--quick`` restricts each experiment to its cheapest configuration
+(the artifact's figXX-quick.sh convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import FigureReport, compare_workload
+from repro.core.atlas import (
+    EVALUATION_PATTERNS,
+    FOUR_PATH,
+    FOUR_STAR,
+    P9,
+    P10,
+    TAILED_TRIANGLE,
+    all_connected_patterns,
+    motif_patterns,
+)
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.bigjoin.engine import BigJoinEngine
+from repro.engines.graphpi.engine import GraphPiEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.graph import datasets
+from repro.graph.generators import (
+    assign_labels,
+    community_graph,
+    power_law_cluster,
+)
+from repro.graph.partition import partition_subgraphs
+
+
+def fig12(quick: bool) -> FigureReport:
+    report = FigureReport("Figure 12", "Motif Counting (Peregrine & AutoZero)")
+    sizes_graphs = [(3, "MI"), (4, "MI")] if quick else [
+        (3, "MI"), (3, "MG"), (3, "PR"), (4, "MI"), (4, "MG"),
+    ]
+    for engine_cls in (PeregrineEngine, AutoZeroEngine):
+        for size, code in sizes_graphs:
+            graph = datasets.load(code)
+            report.add(
+                compare_workload(
+                    engine_cls,
+                    graph,
+                    list(motif_patterns(size)),
+                    workload=f"{engine_cls.name}/{size}-MC",
+                )
+            )
+    return report
+
+
+def fig13a(quick: bool) -> FigureReport:
+    report = FigureReport("Figure 13a", "Subgraph Counting (Peregrine)")
+    named = {"4S": FOUR_STAR, "4P": FOUR_PATH, **EVALUATION_PATTERNS}
+    specs = ["4S", "4P", "4S+4P"] if quick else [
+        "4S", "4P", "4S+4P", "p1", "p1+p2", "p4", "p5", "p4+p5", "p7", "p8",
+    ]
+    graph = datasets.mico()
+    for spec in specs:
+        patterns = [named[n].vertex_induced() for n in spec.split("+")]
+        report.add(
+            compare_workload(PeregrineEngine, graph, patterns, workload=spec)
+        )
+    return report
+
+
+def fig13c(quick: bool) -> FigureReport:
+    report = FigureReport("Figure 13c", "Frequent Subgraph Mining")
+    from repro.apps.fsm import mine_frequent_subgraphs
+    from repro.bench.harness import ComparisonRow
+
+    graph = community_graph(10, 22, 0.35, 120, seed=41, name="fsm-comm")
+    thresholds = [14] if quick else [20, 14, 10]
+    for threshold in thresholds:
+        base = mine_frequent_subgraphs(graph, threshold, max_edges=3, morph=False)
+        morphed = mine_frequent_subgraphs(graph, threshold, max_edges=3, morph=True)
+        assert base.frequent == morphed.frequent
+        report.add(
+            ComparisonRow(
+                workload=f"3-FSM(t={threshold})",
+                graph=graph.name,
+                baseline_seconds=base.total_seconds,
+                morphed_seconds=morphed.total_seconds,
+                baseline_stats=base.stats,
+                morphed_stats=morphed.stats,
+                results_equal=True,
+                morphed_patterns=0,
+            )
+        )
+    return report
+
+
+def fig14(quick: bool) -> FigureReport:
+    report = FigureReport(
+        "Figure 14", "Filter-UDF elimination (GraphPi & BigJoin)"
+    )
+    report.extra_columns["branch_miss_reduction"] = lambda r: r.branch_reduction
+    named = {"TT": TAILED_TRIANGLE, "4S": FOUR_STAR, **EVALUATION_PATTERNS}
+    specs = ["TT", "TT+4S"] if quick else ["TT", "4S", "TT+4S", "p1+p2"]
+    graph = datasets.mico()
+    for engine_cls in (GraphPiEngine, BigJoinEngine):
+        for spec in specs:
+            patterns = [named[n].vertex_induced() for n in spec.split("+")]
+            report.add(
+                compare_workload(
+                    engine_cls, graph, patterns,
+                    workload=f"{engine_cls.name}/{spec}",
+                )
+            )
+    return report
+
+
+def fig15ab(quick: bool) -> FigureReport:
+    report = FigureReport("Figure 15a/b", "On-the-fly conversion (SE + filter)")
+    from repro.bench.harness import ComparisonRow
+    from repro.graph.generators import random_weights
+    from repro.morph.session import MorphingSession
+
+    import numpy as np
+
+    graph = (
+        assign_labels(power_law_cluster(170, 5, 0.5, seed=11, name="mico-small"), 29, seed=12)
+        if quick
+        else datasets.mico()
+    )
+    weights = random_weights(graph, seed=7)
+    mean, std = float(np.mean(weights)), float(np.std(weights))
+
+    def accept(match):
+        total = 0.0
+        for v in match:
+            neigh = graph.neighbors(v)
+            if len(neigh) == 0:
+                local = float(weights[v])
+            else:
+                local = 0.5 * float(weights[v]) + 0.5 * float(np.mean(weights[neigh]))
+            total += local
+        return (mean - std) <= total / len(match) <= (mean + std)
+
+    patterns = list(all_connected_patterns(4))
+
+    def run(enabled):
+        session = MorphingSession(PeregrineEngine(), enabled=enabled, margin=1.0)
+        return session.run_streaming(graph, patterns, lambda p, m: None, vertex_filter=accept)
+
+    base = run(False)
+    morphed = run(True)
+    assert base.results == morphed.results
+    report.extra_columns["udf_reduction"] = lambda r: (
+        r.baseline_stats.udf_calls / max(r.morphed_stats.udf_calls, 1)
+    )
+    from repro.bench.harness import ComparisonRow as _Row
+
+    report.add(
+        _Row(
+            workload="4V-E+filter",
+            graph=graph.name,
+            baseline_seconds=base.total_seconds,
+            morphed_seconds=morphed.total_seconds,
+            baseline_stats=base.stats,
+            morphed_stats=morphed.stats,
+            results_equal=True,
+            morphed_patterns=(
+                sum(morphed.selection.morphed.values()) if morphed.selection else 0
+            ),
+        )
+    )
+    return report
+
+
+def fig15cd(quick: bool) -> FigureReport:
+    report = FigureReport("Figure 15c/d", "Large patterns on partitions")
+    pr_part = max(
+        partition_subgraphs(datasets.products(), 6, seed=1),
+        key=lambda p: p.num_edges,
+    )
+    ok_part = max(
+        partition_subgraphs(datasets.orkut(), 6, seed=1),
+        key=lambda p: p.num_edges,
+    )
+    cases = [("pV10", P10, pr_part)] if quick else [
+        ("pV9", P9, pr_part),
+        ("pV10", P10, pr_part),
+        ("pV9", P9, ok_part),
+        ("pV10", P10, ok_part),
+    ]
+    for name, pattern, part in cases:
+        for engine_cls in (PeregrineEngine, GraphPiEngine):
+            report.add(
+                compare_workload(
+                    engine_cls, part, [pattern.vertex_induced()],
+                    workload=f"{engine_cls.name}/{name}",
+                )
+            )
+    return report
+
+
+EXPERIMENTS = {
+    "fig12": fig12,
+    "fig13a": fig13a,
+    "fig13c": fig13c,
+    "fig14": fig14,
+    "fig15ab": fig15ab,
+    "fig15cd": fig15cd,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="cheapest configs only")
+    parser.add_argument(
+        "--only", choices=sorted(EXPERIMENTS), help="run a single experiment"
+    )
+    parser.add_argument(
+        "--output", help="append the CSV reports to this file as well"
+    )
+    args = parser.parse_args()
+
+    chosen = {args.only: EXPERIMENTS[args.only]} if args.only else EXPERIMENTS
+    start = time.perf_counter()
+    all_reports = []
+    for name, experiment in chosen.items():
+        print(f"\n### running {name} ...", file=sys.stderr)
+        report = experiment(args.quick)
+        all_reports.append(report)
+        print(report.render())
+        from repro.bench.reporting import speedup_chart
+
+        print()
+        print(
+            speedup_chart(
+                [(row.workload, row.speedup) for row in report.rows],
+                title=f"{report.figure} — speedups (morphed vs baseline)",
+            )
+        )
+        print(
+            f"# geomean speedup {report.geometric_mean_speedup:.2f}x, "
+            f"max {report.max_speedup:.2f}x"
+        )
+        if args.output:
+            with open(args.output, "a") as f:
+                f.write(report.render() + "\n")
+    print(
+        f"\n# all experiments done in {time.perf_counter() - start:.1f}s "
+        "(results verified equal baseline vs morphed)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

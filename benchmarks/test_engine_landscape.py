@@ -1,0 +1,73 @@
+"""Engine landscape: the same workloads across all five substrates.
+
+Observation 4 (Section 3.4): design and implementation choices change the
+*relative* performance between workloads per system — the reason morphing
+must specialize its alternative sets per engine. This bench measures the
+same queries on every engine, asserts result agreement (the substrates'
+differential test at benchmark scale), and records the per-engine times
+so the landscape is visible in the report.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.atlas import CHORDAL_FOUR_CYCLE, FOUR_STAR, TAILED_TRIANGLE
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.bigjoin.engine import BigJoinEngine
+from repro.engines.graphpi.engine import GraphPiEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.engines.sumpa.engine import SumPAEngine
+
+ENGINES = [
+    PeregrineEngine,
+    AutoZeroEngine,
+    GraphPiEngine,
+    BigJoinEngine,
+    SumPAEngine,
+]
+
+WORKLOADS = {
+    "TT-V": [TAILED_TRIANGLE.vertex_induced()],
+    "C4C-V": [CHORDAL_FOUR_CYCLE.vertex_induced()],
+    "4S-E": [FOUR_STAR],
+    "{TT,C4C}-E": [TAILED_TRIANGLE, CHORDAL_FOUR_CYCLE],
+}
+
+
+def test_engine_landscape(benchmark, mico):
+    def run():
+        times: dict[str, dict[str, float]] = {}
+        counts: dict[str, dict] = {}
+        for engine_cls in ENGINES:
+            times[engine_cls.name] = {}
+            for workload, patterns in WORKLOADS.items():
+                engine = engine_cls()
+                start = time.perf_counter()
+                result = engine.count_set(mico, patterns)
+                times[engine_cls.name][workload] = time.perf_counter() - start
+                counts.setdefault(workload, {})[engine_cls.name] = tuple(
+                    result[p] for p in patterns
+                )
+        return times, counts
+
+    times, counts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Differential agreement: every engine, every workload, same counts.
+    for workload, per_engine in counts.items():
+        distinct = set(per_engine.values())
+        assert len(distinct) == 1, f"engines disagree on {workload}: {per_engine}"
+
+    # Observation 4: relative workload ordering differs across engines.
+    orderings = {
+        name: tuple(sorted(WORKLOADS, key=lambda w: per[w]))
+        for name, per in times.items()
+    }
+    benchmark.extra_info.update(
+        {name: " < ".join(order) for name, order in orderings.items()}
+    )
+    assert len(set(orderings.values())) > 1, (
+        "at least two engines should rank the workloads differently"
+    )

@@ -1,0 +1,41 @@
+"""Figure 11b: the dataset table for the synthetic stand-in suite.
+
+Regenerates the per-graph statistics rows (|V|, |E|, labels, max/avg
+degree) and asserts the properties morphing relies on: the paper's
+relative size ordering, label cardinalities, and heavy-tailed degrees.
+"""
+
+from __future__ import annotations
+
+from repro.graph.datasets import load, summary_table
+
+
+def test_fig11b_dataset_table(benchmark):
+    rows = benchmark.pedantic(summary_table, rounds=1, iterations=1)
+    table = {r["code"]: r for r in rows}
+    benchmark.extra_info["rows"] = [
+        f"{r['code']}: |V|={r['vertices']} |E|={r['edges']} "
+        f"labels={r['labels']} maxdeg={r['max_degree']} avgdeg={r['avg_degree']}"
+        for r in rows
+    ]
+    # Relative size ordering of Figure 11b.
+    sizes = [table[c]["vertices"] for c in ("MI", "MG", "PR", "OK", "FR")]
+    assert sizes == sorted(sizes)
+    # Labeled graphs: MiCo / MAG / Products; MAG has the most labels.
+    assert table["MI"]["labels"] and table["MG"]["labels"] and table["PR"]["labels"]
+    assert table["OK"]["labels"] is None and table["FR"]["labels"] is None
+    assert table["MG"]["labels"] > table["PR"]["labels"] > 1
+
+
+def test_fig11b_degree_skew(benchmark):
+    """All stand-ins are heavy-tailed: hubs far above the average degree."""
+    def measure():
+        return {
+            code: (load(code).max_degree, load(code).avg_degree)
+            for code in ("MI", "MG", "PR", "OK", "FR")
+        }
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for code, (max_deg, avg_deg) in stats.items():
+        benchmark.extra_info[code] = f"max={max_deg} avg={avg_deg:.1f}"
+        assert max_deg > 3 * avg_deg, f"{code} lacks degree skew"

@@ -1,0 +1,82 @@
+"""Figure 12: Motif Counting speedups and set-operation reductions.
+
+Paper rows: 3/4/5-MC on Peregrine (12a) and AutoZero (12b), morphed vs
+baseline, plus set-operation-time reductions (12c/d). The paper's shape:
+morphing turns vertex-induced motif queries into edge-induced variants,
+eliminating every anti-edge set difference, with speedups of 1.5-34×
+(Peregrine) and 2-10× (AutoZero). Graphs here are scaled stand-ins; the
+*direction* (all diffs eliminated, >1 speedups) is asserted, and the
+reduced mico graph carries the 5-MC sweep.
+
+pytest-benchmark times the morphed run; the full figure row (baseline
+time, speedup, set-op reduction) lands in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atlas import motif_patterns
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+
+from .conftest import make_row, record_comparison, run_baseline_cached, run_morphed
+
+
+def _bench(benchmark, engine_cls, graph, size, label):
+    patterns = list(motif_patterns(size))
+    baseline = run_baseline_cached(engine_cls, graph, patterns, label)
+    morphed = benchmark.pedantic(
+        lambda: run_morphed(engine_cls, graph, patterns), rounds=1, iterations=1
+    )
+    row = make_row(label, graph, baseline, morphed)
+    record_comparison(benchmark, row)
+    return row
+
+
+@pytest.mark.parametrize(
+    "size,graph_name",
+    [(3, "mico"), (3, "mag"), (3, "products"), (4, "mico"), (4, "mag")],
+)
+def test_fig12a_peregrine_mc(size, graph_name, benchmark, request):
+    graph = request.getfixturevalue(graph_name)
+    row = _bench(benchmark, PeregrineEngine, graph, size, f"{size}-MC")
+    assert row.results_equal
+    assert row.speedup > 1.0, "morphing must accelerate motif counting"
+    # Morphing removes every anti-edge difference (Section 7.1).
+    assert row.morphed_stats.setops.differences == 0
+    assert row.baseline_stats.setops.differences > 0
+
+
+def test_fig12a_peregrine_5mc(benchmark, mico_small):
+    """5-MC (21 motifs) on the reduced MiCo stand-in."""
+    row = _bench(benchmark, PeregrineEngine, mico_small, 5, "5-MC")
+    assert row.results_equal
+    assert row.speedup > 1.0
+    assert row.morphed_stats.setops.differences == 0
+
+
+@pytest.mark.parametrize("size,graph_name", [(3, "mico"), (3, "mag"), (4, "mico")])
+def test_fig12b_autozero_mc(size, graph_name, benchmark, request):
+    graph = request.getfixturevalue(graph_name)
+    row = _bench(benchmark, AutoZeroEngine, graph, size, f"{size}-MC")
+    assert row.results_equal
+    assert row.speedup > 1.0
+    assert row.morphed_stats.setops.differences == 0
+
+
+@pytest.mark.parametrize("size", [3, 4])
+def test_fig12c_setop_reduction_peregrine(size, benchmark, mico):
+    """Figure 12c: set-operation time reduction (Peregrine, MiCo-like)."""
+    row = _bench(benchmark, PeregrineEngine, mico, size, f"{size}-MC")
+    assert row.setop_reduction > 1.5, (
+        "morphing must cut set-operation time substantially"
+    )
+    assert row.morphed_stats.setops.total_ops < row.baseline_stats.setops.total_ops
+
+
+@pytest.mark.parametrize("size", [3, 4])
+def test_fig12d_setop_reduction_autozero(size, benchmark, mico):
+    """Figure 12d: set-operation time reduction (AutoZero, MiCo-like)."""
+    row = _bench(benchmark, AutoZeroEngine, mico, size, f"{size}-MC")
+    assert row.setop_reduction > 1.5

@@ -1,0 +1,128 @@
+"""Figure 13c: Frequent Subgraph Mining with morphing.
+
+The paper reports 1.3-3.6× FSM speedups from morphing the most expensive
+(frequently-labeled, loosely constrained) patterns into vertex-induced
+alternatives with fewer matches, plus the §7.5 observation that *blind*
+morphing (ignoring the cost model) is far slower than the query set.
+
+At our 300-vertex scale the per-match MNI UDF no longer dominates the
+way it does on 100K-vertex graphs (matching itself is Python-slow), so
+the cost model usually declines FSM morphs; the asserted reproduction is
+
+* exactness: frequent sets and supports identical with and without
+  morphing, at every threshold;
+* safety: the model-guided session stays within noise of baseline;
+* the §7.5 shape: forcing every morph (huge margin) is measurably slower
+  than the cost-model-guided run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.fsm import mine_frequent_subgraphs
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.graph.generators import community_graph
+
+
+@pytest.fixture(scope="module")
+def fsm_graph():
+    """Community-structured labeled graph (co-purchase-like)."""
+    return community_graph(10, 22, 0.35, 120, seed=41, name="fsm-comm")
+
+
+_BASELINES: dict = {}
+
+
+def _baseline(graph, threshold, max_edges=3):
+    key = (graph.name, threshold, max_edges)
+    if key not in _BASELINES:
+        _BASELINES[key] = mine_frequent_subgraphs(
+            graph, threshold, max_edges=max_edges, morph=False
+        )
+    return _BASELINES[key]
+
+
+@pytest.mark.parametrize("threshold", [20, 14, 10])
+def test_fig13c_fsm_morphing(threshold, benchmark, fsm_graph):
+    base = _baseline(fsm_graph, threshold)
+    morphed = benchmark.pedantic(
+        lambda: mine_frequent_subgraphs(
+            fsm_graph, threshold, max_edges=3, morph=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = base.total_seconds / max(morphed.total_seconds, 1e-9)
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["frequent_patterns"] = len(base.frequent)
+    benchmark.extra_info["baseline_s"] = round(base.total_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["udf_calls_baseline"] = base.stats.udf_calls
+    benchmark.extra_info["udf_calls_morphed"] = morphed.stats.udf_calls
+    assert base.frequent == morphed.frequent, "morphing must be exact"
+    # Low thresholds mine hundreds of patterns; per-level transformation
+    # and timing noise both scale with candidate count, hence the loose
+    # bound (exactness above is the hard guarantee).
+    assert speedup > 0.5, "model-guided morphing must stay near baseline"
+
+
+def test_fig13c_fsm_on_mico(benchmark, mico):
+    base = _baseline(mico, 15)
+    morphed = benchmark.pedantic(
+        lambda: mine_frequent_subgraphs(mico, 15, max_edges=3, morph=True),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["speedup"] = round(
+        base.total_seconds / max(morphed.total_seconds, 1e-9), 3
+    )
+    assert base.frequent == morphed.frequent
+
+
+def test_fig13c_blind_morphing_is_slower(benchmark, fsm_graph):
+    """§7.5: blindly morphing all input patterns loses to the query set
+    (the paper's 22h-vs-14h case); the cost model exists to avoid this."""
+    from repro.apps.fsm import FSMResult
+    from repro.core.aggregation import MNIAggregation
+    from repro.morph.session import MorphingSession
+
+    threshold = 14
+    base = _baseline(fsm_graph, threshold)
+
+    def blind():
+        # margin >> 1 forces every legal morph regardless of cost.
+        engine = PeregrineEngine()
+        session = MorphingSession(
+            engine, aggregation=MNIAggregation(), enabled=True, margin=1e9
+        )
+        # Re-run the FSM levels manually with the forced session.
+        from repro.apps import fsm as fsm_mod
+
+        candidates = fsm_mod._seed_edge_patterns(fsm_graph)
+        result = FSMResult(frequent={}, support_threshold=threshold, max_edges=3)
+        level = 1
+        while candidates and level <= 3:
+            run = session.run(fsm_graph, candidates)
+            result.total_seconds += run.total_seconds
+            frequent_level = {}
+            for pattern, table in run.results.items():
+                support = MNIAggregation.support(table)
+                if support >= threshold:
+                    frequent_level[pattern] = support
+            result.frequent.update(frequent_level)
+            level += 1
+            if level > 3:
+                break
+            candidates = fsm_mod._extend_patterns(frequent_level, result.frequent)
+        return result
+
+    forced = benchmark.pedantic(blind, rounds=1, iterations=1)
+    guided = mine_frequent_subgraphs(fsm_graph, threshold, max_edges=3, morph=True)
+    benchmark.extra_info["baseline_s"] = round(base.total_seconds, 3)
+    benchmark.extra_info["guided_s"] = round(guided.total_seconds, 3)
+    benchmark.extra_info["blind_s"] = round(forced.total_seconds, 3)
+    assert forced.frequent == base.frequent, "even blind morphing is exact"
+    assert forced.total_seconds > guided.total_seconds, (
+        "blind morphing must be slower than cost-model-guided morphing"
+    )

@@ -1,0 +1,88 @@
+"""Figure 13a/13b: Subgraph Counting with morphing on Peregrine.
+
+The paper's SC stress case: single vertex-induced patterns and pairs, so
+alternative sets may require *extra* superpatterns the input never asked
+for. The paper reports 1.2-24× speedups. At our scale the same shape
+appears in two regimes:
+
+* sparse 4/5-vertex patterns morph to edge-induced closures and win
+  (most of the anti-edge set differences disappear);
+* dense patterns (pV5, pV7, pV8) are cheap to match natively, so the
+  cost model declines — and the assertion is that declining keeps the
+  morphed path within noise of baseline (never a §7.5-style blowup).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atlas import EVALUATION_PATTERNS, FOUR_PATH, FOUR_STAR
+from repro.engines.peregrine.engine import PeregrineEngine
+
+from .conftest import make_row, record_comparison, run_baseline_cached, run_morphed
+
+
+def _patterns(spec: str):
+    named = {
+        "4S": FOUR_STAR,
+        "4P": FOUR_PATH,
+        **EVALUATION_PATTERNS,
+    }
+    return [named[name].vertex_induced() for name in spec.split("+")]
+
+
+def _bench(benchmark, graph, spec):
+    patterns = _patterns(spec)
+    label = f"SC:{spec}"
+    baseline = run_baseline_cached(PeregrineEngine, graph, patterns, label)
+    morphed = benchmark.pedantic(
+        lambda: run_morphed(PeregrineEngine, graph, patterns), rounds=1, iterations=1
+    )
+    row = make_row(label, graph, baseline, morphed)
+    record_comparison(benchmark, row)
+    return row, morphed
+
+
+@pytest.mark.parametrize("spec", ["4S", "4P", "4S+4P"])
+def test_fig13a_sparse_patterns_morph_and_win(spec, benchmark, mico):
+    row, morphed = _bench(benchmark, mico, spec)
+    assert row.results_equal
+    assert morphed.selection is not None
+    assert any(morphed.selection.morphed.values()), "sparse V patterns morph"
+    assert row.speedup > 1.2
+
+
+@pytest.mark.parametrize("spec", ["p4", "p5", "p4+p5", "p7", "p8"])
+def test_fig13a_dense_patterns_decline_safely(spec, benchmark, mico):
+    """Dense vertex-induced patterns: native anti-edge pruning wins at
+    this scale; the cost model must not force a losing morph."""
+    row, _morphed = _bench(benchmark, mico, spec)
+    assert row.results_equal
+    # Sub-second baselines are dominated by the fixed transformation
+    # cost; bound the absolute overhead there.
+    assert row.speedup > 0.75 or (
+        row.morphed_seconds - row.baseline_seconds < 0.3
+    ), "a declined morph must stay near baseline"
+
+
+@pytest.mark.parametrize("spec", ["p1", "p1+p2"])
+def test_fig13a_five_vertex(spec, benchmark, mico):
+    """5-vertex vertex-induced singles/pairs: native Peregrine anti-edge
+    pruning is strong at this scale; the model declines and stays put."""
+    row, _morphed = _bench(benchmark, mico, spec)
+    assert row.results_equal
+    # The 5-vertex closures pay a one-off canonicalization/transformation
+    # cost and the baseline may be served from an earlier (warmer) cached
+    # run; bound the regression loosely, exactness is the hard assert.
+    assert row.speedup > 0.6
+
+
+@pytest.mark.parametrize("spec", ["4S", "4P"])
+def test_fig13b_setop_reduction(spec, benchmark, mico):
+    """Figure 13b: set-operation time reduction for morphed SC queries."""
+    row, morphed = _bench(benchmark, mico, spec)
+    if morphed.selection and any(morphed.selection.morphed.values()):
+        assert row.setop_reduction > 1.2
+        assert row.morphed_stats.setops.differences < (
+            row.baseline_stats.setops.differences
+        )

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Frequent Subgraph Mining on a community-structured labeled graph.
+
+FSM grows labeled edge-induced patterns level by level (size = number of
+edges, as in the paper's Figure 3) and keeps those whose MNI support [8]
+reaches a threshold. The MNI table is the expensive per-match UDF that
+makes FSM the paper's UDF-bound workload (Figure 4a / Section 7.2).
+
+This example mines a co-purchase-style graph (dense same-label
+communities), prints the frequent patterns by level, and compares the
+baseline against the morphing-enabled run — including what the cost model
+decided per level.
+
+Run:  python examples/frequent_subgraphs.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.fsm import mine_frequent_subgraphs
+from repro.core.pattern import Pattern
+from repro.graph.generators import community_graph
+
+
+def describe(pattern: Pattern) -> str:
+    labels = "/".join(str(pattern.label(v)) for v in range(pattern.n))
+    edges = ", ".join(f"{u}-{v}" for u, v in sorted(pattern.edges))
+    return f"{pattern.n}v [{labels}] edges({edges})"
+
+
+def main() -> None:
+    graph = community_graph(10, 22, 0.35, 120, seed=41, name="co-purchase")
+    print(f"Data graph: {graph} (10 dense single-label communities)\n")
+
+    threshold = 14
+    baseline = mine_frequent_subgraphs(
+        graph, support_threshold=threshold, max_edges=3, morph=False
+    )
+    morphed = mine_frequent_subgraphs(
+        graph, support_threshold=threshold, max_edges=3, morph=True
+    )
+    assert baseline.frequent == morphed.frequent, "morphing must be exact"
+
+    print(f"Support threshold: {threshold} (MNI)")
+    for level in sorted(baseline.candidates_per_level):
+        frequent = baseline.frequent_at_level(level)
+        print(
+            f"level {level}: {baseline.candidates_per_level[level]:4d} candidates, "
+            f"{len(frequent):4d} frequent"
+        )
+        for pattern, support in sorted(
+            frequent.items(), key=lambda kv: -kv[1]
+        )[:5]:
+            print(f"    support={support:3d}  {describe(pattern)}")
+
+    print(
+        f"\nbaseline {baseline.total_seconds:.2f}s "
+        f"({baseline.stats.udf_calls} MNI UDF calls) | "
+        f"morphed {morphed.total_seconds:.2f}s "
+        f"({morphed.stats.udf_calls} MNI UDF calls)"
+    )
+    print(
+        "The cost model morphs a level only when the vertex-induced "
+        "alternatives are predicted to repay their extra matching work."
+    )
+
+
+if __name__ == "__main__":
+    main()

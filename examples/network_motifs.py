@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Network-motif analysis (Milo et al.): significance against a null model.
+
+The paper's introduction motivates graph mining with network-motif
+analysis [44]: find the small subgraphs that occur far more often than
+chance. This example runs the full pipeline on two graphs — a clustered
+co-authorship-like graph and an Erdős–Rényi control — counting motifs
+through the morphing-enabled stack and comparing against
+degree-preserving rewired null models.
+
+Run:  python examples/network_motifs.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.motif_significance import motif_significance
+from repro.graph.generators import erdos_renyi, power_law_cluster
+
+
+def report(name: str, results) -> None:
+    print(f"{name}:")
+    print(f"  {'motif':10s} {'observed':>9s} {'null mean':>10s} {'null std':>9s} {'z':>8s}")
+    for r in results:
+        z = f"{r.z_score:8.2f}" if abs(r.z_score) != float("inf") else "     inf"
+        print(
+            f"  {r.name:10s} {r.observed:>9,} {r.null_mean:>10.1f} "
+            f"{r.null_std:>9.2f} {z}"
+        )
+    print()
+
+
+def main() -> None:
+    clustered = power_law_cluster(200, 4, 0.75, seed=5, name="co-authorship")
+    control = erdos_renyi(200, clustered.avg_degree / 199, seed=6, name="ER-control")
+
+    print("Null model: degree-preserving double-edge swaps, 8 samples\n")
+    report(
+        f"{clustered.name} ({clustered.num_edges} edges)",
+        motif_significance(clustered, size=3, null_samples=8, seed=1),
+    )
+    report(
+        f"{control.name} ({control.num_edges} edges)",
+        motif_significance(control, size=3, null_samples=8, seed=1),
+    )
+    print(
+        "The clustered graph's triangle z-score is large (a genuine motif);\n"
+        "the ER control is statistically indistinguishable from its null."
+    )
+
+
+if __name__ == "__main__":
+    main()

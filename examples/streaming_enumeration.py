@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Streaming enumeration with on-the-fly conversion (Section 7.3).
+
+Enumerates every edge-induced 4-vertex subgraph whose average vertex
+weight falls within one standard deviation of the mean (the paper's §7.3
+filter). With morphing enabled, the engine matches vertex-induced
+alternatives — each data subgraph appears exactly once — the filter runs
+once per alternative match, and passing matches are converted to the
+query patterns on the fly (Algorithm 3).
+
+Run:  python examples/streaming_enumeration.py
+"""
+
+from __future__ import annotations
+
+from repro import MorphingSession, PeregrineEngine, all_connected_patterns, pattern_name
+from repro.apps.enumeration import weight_window_filter
+from repro.graph import datasets
+from repro.graph.generators import random_weights
+
+
+def main() -> None:
+    graph = datasets.mico()
+    weights = random_weights(graph, seed=7)
+    accept = weight_window_filter(weights, num_std=1.0)
+    queries = list(all_connected_patterns(4))
+    print(f"Data graph: {graph}")
+    print("Queries: all 6 edge-induced 4-vertex patterns, 1-sigma weight filter\n")
+
+    def run(enabled: bool):
+        emitted: dict = {}
+
+        def process(pattern, match):
+            emitted[pattern] = emitted.get(pattern, 0) + 1
+
+        session = MorphingSession(PeregrineEngine(), enabled=enabled, margin=1.0)
+        result = session.run_streaming(
+            graph, queries, process, vertex_filter=accept
+        )
+        return result, emitted
+
+    baseline, base_counts = run(enabled=False)
+    morphed, morph_counts = run(enabled=True)
+    assert base_counts == morph_counts, "streams must be identical"
+
+    print(f"{'pattern':6s} {'passing matches':>16s}")
+    for q in queries:
+        print(f"{pattern_name(q):6s} {morph_counts.get(q, 0):>16,}")
+
+    print(
+        f"\nbaseline: {baseline.total_seconds:6.2f}s, "
+        f"{baseline.stats.udf_calls:,} filter evaluations"
+    )
+    print(
+        f"morphed:  {morphed.total_seconds:6.2f}s, "
+        f"{morphed.stats.udf_calls:,} filter evaluations"
+    )
+    if morphed.selection and any(morphed.selection.morphed.values()):
+        print(
+            "morphing evaluated the filter once per unique subgraph "
+            "instead of once per (pattern, match) pair"
+        )
+    else:
+        print(
+            "the profiled filter was cheap enough that the cost model "
+            "kept the original query set (no morph)"
+        )
+
+
+if __name__ == "__main__":
+    main()

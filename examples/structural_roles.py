@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Structural role analysis with graphlet orbit counting.
+
+Computes per-vertex graphlet degree vectors (orbit counts) on the MAG
+stand-in and uses them the way bioinformatics pipelines do: find the
+vertices whose structural role most resembles a chosen hub, and compare
+hub/leaf signatures. Orbit counting is the refinement of motif counting
+the paper's related work ([22], [42], [43]) studies; it is built here
+directly on the library's motif, automorphism-orbit and engine
+primitives.
+
+Run:  python examples/structural_roles.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.orbit_counting import (
+    most_similar_vertices,
+    orbit_degree_vectors,
+)
+from repro.graph import datasets
+
+
+def main() -> None:
+    graph = datasets.mag()
+    print(f"Data graph: {graph}\n")
+
+    matrix, index = orbit_degree_vectors(graph, size=3)
+    print(f"{index.num_orbits} orbits across the size-3 motifs:")
+    for o, name in enumerate(index.names):
+        print(f"  {name:14s} total incidences: {int(matrix[:, o].sum()):,}")
+
+    hub = int(np.argmax(graph.degrees))
+    leaf = int(np.argmin(graph.degrees))
+    print(f"\nhub vertex {hub} (degree {graph.degree(hub)}): "
+          f"orbit vector {matrix[hub].tolist()}")
+    print(f"leaf vertex {leaf} (degree {graph.degree(leaf)}): "
+          f"orbit vector {matrix[leaf].tolist()}")
+
+    print(f"\nvertices most structurally similar to hub {hub}:")
+    for v, similarity in most_similar_vertices(graph, hub, size=3, top=5):
+        print(f"  vertex {v:5d} (degree {graph.degree(v):3d}) "
+              f"cosine similarity {similarity:.4f}")
+
+    # Sanity identity: every size-3 occurrence contributes 3 incidences.
+    from repro.apps.motif_counting import count_motifs
+
+    total = sum(count_motifs(graph, 3, morph=False).results.values())
+    assert matrix.sum() == 3 * total
+    print(f"\nconsistency: {total:,} size-3 subgraphs x 3 roles "
+          f"= {int(matrix.sum()):,} incidences")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — reproduction of "Accelerating Graph Mining Systems with
+Subgraph Morphing" (Jamshidi, Xu & Vora, EuroSys 2023).
+
+Public API quick tour::
+
+    from repro import (
+        Pattern, DataGraph, MorphingSession,
+        PeregrineEngine, AutoZeroEngine, GraphPiEngine, BigJoinEngine,
+    )
+    from repro.graph import datasets
+    from repro.core.atlas import motif_patterns
+
+    graph = datasets.mico()
+    session = MorphingSession(PeregrineEngine())          # morphing on
+    result = session.run(graph, list(motif_patterns(4)))  # 4-motif counting
+    # result.results: {pattern: count}; result.stats: engine counters
+
+Layout: ``repro.core`` is the paper's contribution (patterns, the
+morphing algebra, S-DAG, cost model, selection, result conversion);
+``repro.engines`` holds the four system substrates; ``repro.apps`` the
+mining applications (MC, SC, SE, FSM); ``repro.morph`` the end-to-end
+pipeline; ``repro.graph`` data graphs, generators and dataset stand-ins.
+"""
+
+from repro.core.aggregation import (
+    Aggregation,
+    CountAggregation,
+    ExistenceAggregation,
+    MatchListAggregation,
+    MNIAggregation,
+)
+from repro.core.atlas import (
+    EVALUATION_PATTERNS,
+    NAMED_PATTERNS,
+    all_connected_patterns,
+    motif_patterns,
+    pattern_name,
+)
+from repro.core.canonical import are_isomorphic, canonical_form, pattern_id
+from repro.core.costmodel import CostModel, EngineCostProfile, GraphModel
+from repro.core.alternatives import enumerate_alternative_sets
+from repro.core.equations import morph_equation, solve_query
+from repro.core.parser import format_pattern, parse_pattern
+from repro.core.pattern import Pattern
+from repro.core.sdag import EDGE_INDUCED, VERTEX_INDUCED, SDag
+from repro.core.selection import select_alternative_patterns
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.base import EngineStats, MiningEngine
+from repro.engines.bigjoin.engine import BigJoinEngine
+from repro.engines.graphpi.engine import GraphPiEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.engines.sumpa.engine import SumPAEngine
+from repro.graph.datagraph import DataGraph
+from repro.morph.cache import MeasurementCache
+from repro.morph.session import (
+    MorphingSession,
+    MorphRunResult,
+    compare_baseline_and_morphed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregation",
+    "AutoZeroEngine",
+    "BigJoinEngine",
+    "CostModel",
+    "CountAggregation",
+    "DataGraph",
+    "EDGE_INDUCED",
+    "EngineCostProfile",
+    "EngineStats",
+    "EVALUATION_PATTERNS",
+    "ExistenceAggregation",
+    "GraphModel",
+    "GraphPiEngine",
+    "MatchListAggregation",
+    "MiningEngine",
+    "MNIAggregation",
+    "MorphingSession",
+    "MorphRunResult",
+    "NAMED_PATTERNS",
+    "Pattern",
+    "PeregrineEngine",
+    "SDag",
+    "SumPAEngine",
+    "VERTEX_INDUCED",
+    "all_connected_patterns",
+    "are_isomorphic",
+    "canonical_form",
+    "MeasurementCache",
+    "compare_baseline_and_morphed",
+    "enumerate_alternative_sets",
+    "format_pattern",
+    "morph_equation",
+    "parse_pattern",
+    "motif_patterns",
+    "pattern_id",
+    "pattern_name",
+    "select_alternative_patterns",
+    "solve_query",
+]

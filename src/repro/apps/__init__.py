@@ -1,0 +1,32 @@
+"""Graph mining applications: MC, SC, SE, FSM, cliques, orbits, and more."""
+
+from repro.apps.approximate import approximate_count, error_latency_profile
+from repro.apps.clique_finding import clique_census, count_cliques, max_clique_size
+from repro.apps.enumeration import enumerate_matches, weight_window_filter
+from repro.apps.fsm import FSMResult, mine_frequent_subgraphs
+from repro.apps.motif_counting import count_motifs, motif_census
+from repro.apps.motif_significance import motif_significance, significant_motifs
+from repro.apps.orbit_counting import orbit_degree_vectors, orbit_signature
+from repro.apps.programs import PatternProgram
+from repro.apps.subgraph_counting import count_one, count_subgraphs
+
+__all__ = [
+    "FSMResult",
+    "PatternProgram",
+    "approximate_count",
+    "clique_census",
+    "count_cliques",
+    "count_motifs",
+    "count_one",
+    "count_subgraphs",
+    "enumerate_matches",
+    "error_latency_profile",
+    "max_clique_size",
+    "mine_frequent_subgraphs",
+    "motif_census",
+    "motif_significance",
+    "orbit_degree_vectors",
+    "orbit_signature",
+    "significant_motifs",
+    "weight_window_filter",
+]

@@ -1,0 +1,71 @@
+"""Clique Finding: maximum clique size and k-clique counting.
+
+One of the applications the paper lists (Section 2). Cliques are the one
+pattern family that is simultaneously edge- and vertex-induced, so
+morphing is a no-op for a single clique query — but clique *census*
+queries (all clique sizes up to k) still route through the shared
+engines, and the existence probe uses the cheap
+:class:`~repro.core.aggregation.ExistenceAggregation`.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import ExistenceAggregation
+from repro.core.pattern import Pattern
+from repro.engines.base import MiningEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.graph.datagraph import DataGraph
+
+
+def count_cliques(
+    graph: DataGraph,
+    size: int,
+    engine: MiningEngine | None = None,
+) -> int:
+    """Number of ``size``-cliques in the graph."""
+    if size < 2:
+        raise ValueError("cliques start at 2 vertices (edges)")
+    engine = engine or PeregrineEngine()
+    return engine.count(graph, Pattern.clique(size))
+
+
+def clique_census(
+    graph: DataGraph,
+    max_size: int,
+    engine: MiningEngine | None = None,
+) -> dict[int, int]:
+    """Counts of every clique size from 2 to ``max_size``.
+
+    Stops early once a size has no matches (supersets cannot exist).
+    """
+    engine = engine or PeregrineEngine()
+    census: dict[int, int] = {}
+    for size in range(2, max_size + 1):
+        count = engine.count(graph, Pattern.clique(size))
+        census[size] = count
+        if count == 0:
+            break
+    return census
+
+
+def max_clique_size(
+    graph: DataGraph,
+    engine: MiningEngine | None = None,
+    upper_bound: int | None = None,
+) -> int:
+    """Size of the largest clique, via existence probes per size.
+
+    Uses the degeneracy-style bound ``max_degree + 1`` unless a tighter
+    ``upper_bound`` is provided; probes sizes upward and stops at the
+    first absent size.
+    """
+    engine = engine or PeregrineEngine()
+    bound = upper_bound or (graph.max_degree + 1)
+    exists = ExistenceAggregation()
+    best = 1 if graph.num_vertices else 0
+    for size in range(2, bound + 1):
+        if engine.aggregate(graph, Pattern.clique(size), exists):
+            best = size
+        else:
+            break
+    return best

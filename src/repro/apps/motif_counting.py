@@ -1,0 +1,45 @@
+"""Motif Counting (MC): count all vertex-induced k-vertex patterns.
+
+The paper's headline counting workload (Figure 12). The query set is the
+full motif set of one size — every connected k-vertex topology as a
+vertex-induced pattern — which makes it the *best case* for morphing:
+every superpattern an alternative set could want is already in the input,
+so morphing only removes anti-edge set differences without adding
+patterns (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.atlas import motif_patterns, pattern_name
+from repro.core.pattern import Pattern
+from repro.engines.base import MiningEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.graph.datagraph import DataGraph
+from repro.morph.session import MorphingSession, MorphRunResult
+
+
+def count_motifs(
+    graph: DataGraph,
+    size: int,
+    engine: MiningEngine | None = None,
+    morph: bool = True,
+) -> MorphRunResult:
+    """Count every ``size``-vertex motif; results keyed by motif pattern."""
+    session = MorphingSession(engine or PeregrineEngine(), enabled=morph)
+    return session.run(graph, list(motif_patterns(size)))
+
+
+def motif_census(
+    graph: DataGraph,
+    size: int,
+    engine: MiningEngine | None = None,
+    morph: bool = True,
+) -> dict[str, int]:
+    """Human-readable motif census: pattern name -> vertex-induced count."""
+    result = count_motifs(graph, size, engine=engine, morph=morph)
+    return {pattern_name(p): c for p, c in result.results.items()}
+
+
+def total_motifs(results: dict[Pattern, int]) -> int:
+    """Total connected ``k``-vertex subgraphs (sum over the census)."""
+    return sum(results.values())

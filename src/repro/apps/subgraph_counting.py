@@ -1,0 +1,40 @@
+"""Subgraph Counting (SC): count matches of arbitrary query patterns.
+
+Unlike motif counting, the query set here is sparse — single patterns or
+small sets — so alternative sets may introduce *extra* superpatterns the
+input never asked for. Section 7.1 uses this as the stress case: morphing
+must still win after paying for those extra patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pattern import Pattern
+from repro.engines.base import MiningEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.graph.datagraph import DataGraph
+from repro.morph.session import MorphingSession, MorphRunResult
+
+
+def count_subgraphs(
+    graph: DataGraph,
+    patterns: Sequence[Pattern],
+    engine: MiningEngine | None = None,
+    morph: bool = True,
+) -> MorphRunResult:
+    """Count matches for each query pattern (vertex- or edge-induced)."""
+    session = MorphingSession(engine or PeregrineEngine(), enabled=morph)
+    return session.run(graph, list(patterns))
+
+
+def count_one(
+    graph: DataGraph,
+    pattern: Pattern,
+    engine: MiningEngine | None = None,
+    morph: bool = True,
+) -> int:
+    """Count a single pattern's matches."""
+    return count_subgraphs(graph, [pattern], engine=engine, morph=morph).results[
+        pattern
+    ]

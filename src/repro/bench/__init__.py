@@ -1,0 +1,1 @@
+"""Benchmark harness utilities shared by the per-figure benchmarks."""

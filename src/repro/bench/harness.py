@@ -1,0 +1,172 @@
+"""Benchmark harness: run/compare workloads and report figure rows.
+
+Mirrors the paper artifact's experiment scripts: every experiment emits
+CSV-style rows ``pattern, graph, morphed_time, baseline_time, speedup``
+(plus counter columns where the figure reports counters), and every row
+asserts baseline == morphed results — the correctness half of claim C1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.aggregation import Aggregation
+from repro.core.pattern import Pattern
+from repro.engines.base import EngineStats, MiningEngine
+from repro.graph.datagraph import DataGraph
+from repro.morph.session import MorphingSession, MorphRunResult
+
+
+@dataclass
+class ComparisonRow:
+    """One figure row: a workload measured with and without morphing."""
+
+    workload: str
+    graph: str
+    baseline_seconds: float
+    morphed_seconds: float
+    baseline_stats: EngineStats
+    morphed_stats: EngineStats
+    results_equal: bool
+    morphed_patterns: int
+
+    @property
+    def speedup(self) -> float:
+        if self.morphed_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.morphed_seconds
+
+    @property
+    def setop_reduction(self) -> float:
+        """Figure 12c/d-style set-operation time reduction factor."""
+        morphed = self.morphed_stats.setops.seconds
+        if morphed <= 0:
+            return float("inf")
+        return self.baseline_stats.setops.seconds / morphed
+
+    @property
+    def branch_reduction(self) -> float:
+        """Figure 14c/d-style branch-miss reduction factor."""
+        baseline = self.baseline_stats.branch_misses
+        morphed = self.morphed_stats.branch_misses
+        if morphed <= 0:
+            return float(baseline) if baseline else 1.0
+        return baseline / morphed
+
+    def csv(self) -> str:
+        return (
+            f"{self.workload},{self.graph},{self.morphed_seconds:.4f},"
+            f"{self.baseline_seconds:.4f},{self.speedup:.2f}"
+        )
+
+
+def compare_workload(
+    engine_factory: Callable[[], MiningEngine],
+    graph: DataGraph,
+    patterns: Sequence[Pattern],
+    workload: str,
+    aggregation: Aggregation | None = None,
+) -> ComparisonRow:
+    """Run one workload with and without morphing; assert equal results."""
+    baseline_session = MorphingSession(
+        engine_factory(), aggregation=aggregation, enabled=False
+    )
+    morphed_session = MorphingSession(
+        engine_factory(), aggregation=aggregation, enabled=True
+    )
+    baseline = baseline_session.run(graph, list(patterns))
+    morphed = morphed_session.run(graph, list(patterns))
+    equal = _results_equal(baseline, morphed)
+    assert equal, f"morphing changed results for {workload} on {graph.name}"
+    morphed_count = (
+        sum(morphed.selection.morphed.values()) if morphed.selection else 0
+    )
+    return ComparisonRow(
+        workload=workload,
+        graph=graph.name,
+        baseline_seconds=baseline.total_seconds,
+        morphed_seconds=morphed.total_seconds,
+        baseline_stats=baseline.stats,
+        morphed_stats=morphed.stats,
+        results_equal=equal,
+        morphed_patterns=morphed_count,
+    )
+
+
+def _results_equal(a: MorphRunResult, b: MorphRunResult) -> bool:
+    if set(a.results) != set(b.results):
+        return False
+    return all(a.results[k] == b.results[k] for k in a.results)
+
+
+@dataclass
+class FigureReport:
+    """Collects rows for one paper figure and renders the summary."""
+
+    figure: str
+    description: str
+    rows: list[ComparisonRow] = field(default_factory=list)
+    extra_columns: dict[str, Callable[[ComparisonRow], Any]] = field(
+        default_factory=dict
+    )
+
+    def add(self, row: ComparisonRow) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        lines = [f"# {self.figure}: {self.description}"]
+        header = "workload,graph,morphed_s,baseline_s,speedup"
+        if self.extra_columns:
+            header += "," + ",".join(self.extra_columns)
+        lines.append(header)
+        for row in self.rows:
+            line = row.csv()
+            for fn in self.extra_columns.values():
+                value = fn(row)
+                line += f",{value:.2f}" if isinstance(value, float) else f",{value}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    @property
+    def geometric_mean_speedup(self) -> float:
+        if not self.rows:
+            return 1.0
+        product = 1.0
+        for row in self.rows:
+            product *= max(row.speedup, 1e-9)
+        return product ** (1.0 / len(self.rows))
+
+    @property
+    def max_speedup(self) -> float:
+        return max((row.speedup for row in self.rows), default=1.0)
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once and return (result, seconds)."""
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def breakdown_row(
+    label: str, stats: EngineStats, total: float | None = None
+) -> dict[str, float]:
+    """Figure 4-style percentage breakdown of one run's time."""
+    total = total if total is not None else stats.total_seconds
+    if total <= 0:
+        return {"label": label, "setops": 0.0, "udf": 0.0, "filter": 0.0, "other": 0.0, "total": 0.0}  # type: ignore[dict-item]
+    return {
+        "label": label,  # type: ignore[dict-item]
+        "setops": 100.0 * stats.setops.seconds / total,
+        "udf": 100.0 * stats.udf_seconds / total,
+        "filter": 100.0 * stats.filter_seconds / total,
+        "other": max(
+            0.0,
+            100.0
+            * (total - stats.setops.seconds - stats.udf_seconds - stats.filter_seconds)
+            / total,
+        ),
+        "total": total,
+    }

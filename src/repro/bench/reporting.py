@@ -1,0 +1,108 @@
+"""Terminal rendering for benchmark reports: the figures, as text.
+
+The paper's evaluation figures are bar charts of per-workload speedups
+with absolute times printed above the bars; ``speedup_chart`` renders the
+same information as unicode bars so ``run_all.py`` output reads like the
+figures it regenerates. ``breakdown_chart`` renders Figure 4-style
+stacked percentage rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar of ``value`` against ``scale`` with ⅛-cell detail."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, min(1.0, value / scale)) * width
+    full = int(cells)
+    remainder = int((cells - full) * 8)
+    bar = "█" * full
+    if remainder and full < width:
+        bar += _BLOCKS[remainder]
+    return bar
+
+
+def speedup_chart(
+    rows: Iterable[tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    baseline_marker: float = 1.0,
+) -> str:
+    """Figure 12/13/14-style speedup bars.
+
+    ``rows`` are ``(label, speedup)`` pairs. A tick marks 1.0× (parity);
+    bars shorter than the tick mean the morphed run was slower.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    scale = max(max(s for _l, s in rows), baseline_marker) * 1.05
+    label_width = max(len(label) for label, _s in rows)
+    tick = int(round(baseline_marker / scale * width))
+    lines = [title] if title else []
+    for label, speedup in rows:
+        bar = _bar(speedup, scale, width)
+        # Overlay the parity tick on the bar.
+        padded = bar.ljust(width)
+        if 0 <= tick < width:
+            marker = "┃" if len(bar) <= tick else "╋"
+            padded = padded[:tick] + marker + padded[tick + 1 :]
+        lines.append(f"{label:<{label_width}} │{padded}│ {speedup:5.2f}x")
+    lines.append(f"{'':<{label_width}}  {'':<{tick}}└ 1.0x")
+    return "\n".join(lines)
+
+
+def breakdown_chart(
+    rows: Iterable[tuple[str, dict[str, float]]],
+    categories: Sequence[str] = ("setops", "udf", "filter", "other"),
+    width: int = 40,
+) -> str:
+    """Figure 4-style stacked percentage bars.
+
+    ``rows`` are ``(label, {category: percent})`` pairs; percents should
+    sum to ~100 per row. Each category gets a distinct fill character.
+    """
+    fills = {"setops": "█", "udf": "▒", "filter": "▓", "other": "░"}
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    label_width = max(len(label) for label, _b in rows)
+    lines = [
+        "legend: " + "  ".join(f"{fills.get(c, '?')} {c}" for c in categories)
+    ]
+    for label, breakdown in rows:
+        bar = ""
+        used = 0
+        for category in categories:
+            share = breakdown.get(category, 0.0) / 100.0
+            cells = int(round(share * width))
+            cells = min(cells, width - used)
+            bar += fills.get(category, "?") * cells
+            used += cells
+        bar = bar.ljust(width)
+        total = breakdown.get("total", 0.0)
+        lines.append(f"{label:<{label_width}} │{bar}│ {total:.2f}s")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Plain aligned text table (the CSV's human-readable sibling)."""
+    rows = [list(map(str, row)) for row in rows]
+    if not rows:
+        return ",".join(header)
+    widths = [
+        max(len(str(header[i])), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""Command-line interface: mine graphs with Subgraph Morphing from a shell.
+
+Usage examples::
+
+    python -m repro.cli datasets
+    python -m repro.cli motifs --graph mico --size 4
+    python -m repro.cli count --graph mico --pattern 4CL --pattern TT-V
+    python -m repro.cli count --graph-file my.edges --pattern C4 --engine graphpi
+    python -m repro.cli fsm --graph mico --support 15 --max-edges 3
+    python -m repro.cli equation TT C4-V
+    python -m repro.cli cliques --graph orkut --max-size 8
+
+Pattern names are the paper's (Figure 1 / Figure 11a): ``triangle``,
+``4S``, ``TT``, ``C4``, ``C4C``, ``4CL``, ``4P``, ``p1``..``p10``; a
+``-V`` suffix selects the vertex-induced variant. ``--no-morph`` runs
+the baseline path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.approximate import approximate_count
+from repro.apps.clique_finding import clique_census
+from repro.apps.fsm import mine_frequent_subgraphs
+from repro.core.atlas import (
+    EVALUATION_PATTERNS,
+    NAMED_PATTERNS,
+    motif_patterns,
+    pattern_name,
+)
+from repro.core.equations import morph_equation
+from repro.core.pattern import Pattern
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.bigjoin.engine import BigJoinEngine
+from repro.engines.graphpi.engine import GraphPiEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.engines.sumpa.engine import SumPAEngine
+from repro.graph import datasets
+from repro.graph.io import load_edge_list
+from repro.morph.session import MorphingSession
+
+ENGINES = {
+    "peregrine": PeregrineEngine,
+    "autozero": AutoZeroEngine,
+    "graphpi": GraphPiEngine,
+    "bigjoin": BigJoinEngine,
+    "sumpa": SumPAEngine,
+}
+
+
+def resolve_pattern(name: str) -> Pattern:
+    """Parse a pattern spec: a name like ``TT``/``C4-V``, or DSL text.
+
+    Anything containing a comma, ``!``, brackets or multiple dashes is
+    treated as a pattern expression (see :mod:`repro.core.parser`), e.g.
+    ``"a-b,b-c,c-a"`` or ``"a-b-c-d-a [a:1]"``.
+    """
+    table = {**NAMED_PATTERNS, **EVALUATION_PATTERNS}
+    base, _, suffix = name.partition("-")
+    if base in table:
+        pattern = table[base]
+        if suffix == "V":
+            return pattern.vertex_induced()
+        if suffix in ("", "E"):
+            return pattern
+        raise SystemExit(f"unknown variant suffix {suffix!r} (use -V or -E)")
+    if any(ch in name for ch in ",!([") or name.count("-") > 1:
+        from repro.core.parser import PatternSyntaxError, parse_pattern
+
+        try:
+            return parse_pattern(name)
+        except PatternSyntaxError as exc:
+            raise SystemExit(f"bad pattern expression {name!r}: {exc}")
+    raise SystemExit(
+        f"unknown pattern {name!r}; choose from {', '.join(sorted(table))} "
+        "or pass a pattern expression like 'a-b,b-c,c-a'"
+    )
+
+
+def resolve_graph(args):
+    if args.graph_file:
+        return load_edge_list(args.graph_file, args.label_file)
+    return datasets.load(args.graph)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", default="mico", help="dataset name/code")
+    parser.add_argument("--graph-file", help="edge-list file (overrides --graph)")
+    parser.add_argument("--label-file", help="vertex-label file for --graph-file")
+    parser.add_argument(
+        "--engine", choices=sorted(ENGINES), default="peregrine"
+    )
+    parser.add_argument(
+        "--no-morph", action="store_true", help="run the baseline path"
+    )
+
+
+def cmd_datasets(_args) -> int:
+    print(f"{'code':5s} {'name':11s} {'|V|':>7s} {'|E|':>8s} {'labels':>7s} {'maxdeg':>7s} {'avgdeg':>7s}")
+    for row in datasets.summary_table():
+        labels = row["labels"] if row["labels"] is not None else "-"
+        print(
+            f"{row['code']:5s} {row['name']:11s} {row['vertices']:>7d} "
+            f"{row['edges']:>8d} {labels!s:>7s} {row['max_degree']:>7d} "
+            f"{row['avg_degree']:>7.1f}"
+        )
+    return 0
+
+
+def cmd_count(args) -> int:
+    graph = resolve_graph(args)
+    patterns = [resolve_pattern(p) for p in args.pattern]
+    session = MorphingSession(ENGINES[args.engine](), enabled=not args.no_morph)
+    result = session.run(graph, patterns)
+    for p in patterns:
+        print(f"{pattern_name(p):10s} {result.results[p]}")
+    _print_footer(result)
+    return 0
+
+
+def cmd_motifs(args) -> int:
+    graph = resolve_graph(args)
+    session = MorphingSession(ENGINES[args.engine](), enabled=not args.no_morph)
+    result = session.run(graph, list(motif_patterns(args.size)))
+    for p, c in sorted(result.results.items(), key=lambda kv: -kv[1]):
+        print(f"{pattern_name(p):10s} {c}")
+    _print_footer(result)
+    return 0
+
+
+def cmd_fsm(args) -> int:
+    graph = resolve_graph(args)
+    if not graph.is_labeled:
+        raise SystemExit(f"{graph.name} is unlabeled; FSM needs labels")
+    result = mine_frequent_subgraphs(
+        graph,
+        support_threshold=args.support,
+        max_edges=args.max_edges,
+        engine=ENGINES[args.engine](),
+        morph=not args.no_morph,
+    )
+    for p, support in sorted(result.frequent.items(), key=lambda kv: -kv[1]):
+        labels = "/".join(str(p.label(v)) for v in range(p.n))
+        print(f"support={support:5d} {p.num_edges}e {p.n}v labels[{labels}]")
+    print(f"# {len(result.frequent)} frequent patterns in {result.total_seconds:.2f}s")
+    return 0
+
+
+def cmd_cliques(args) -> int:
+    graph = resolve_graph(args)
+    census = clique_census(graph, args.max_size, engine=ENGINES[args.engine]())
+    for size, count in census.items():
+        print(f"{size}-clique  {count}")
+    return 0
+
+
+def cmd_equation(args) -> int:
+    for name in args.patterns:
+        print(morph_equation(resolve_pattern(name)))
+    return 0
+
+
+def cmd_orbits(args) -> int:
+    from repro.apps.orbit_counting import orbit_signature
+
+    graph = resolve_graph(args)
+    signature = orbit_signature(graph, args.vertex, size=args.size)
+    for name, count in signature.items():
+        print(f"{name:16s} {count}")
+    return 0
+
+
+def cmd_approx(args) -> int:
+    graph = resolve_graph(args)
+    pattern = resolve_pattern(args.pattern)
+    approx = approximate_count(
+        graph,
+        pattern,
+        sample_prob=args.prob,
+        trials=args.trials,
+        engine=ENGINES[args.engine](),
+    )
+    lo, hi = approx.confidence_interval()
+    print(
+        f"estimate {approx.estimate:.1f} "
+        f"(95% CI [{lo:.1f}, {hi:.1f}], {approx.trials} trials, p={approx.sample_prob})"
+    )
+    return 0
+
+
+def _print_footer(result) -> None:
+    mode = "morphed" if result.morphing_enabled else "baseline"
+    extra = ""
+    if result.morphing_enabled and result.selection:
+        fired = sum(result.selection.morphed.values())
+        extra = f", {fired} queries morphed, {len(result.measured)} patterns measured"
+    print(
+        f"# {mode}: {result.total_seconds:.2f}s, "
+        f"{result.stats.setops.total_ops} set ops{extra}",
+        file=sys.stderr,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the synthetic dataset suite")
+
+    count = sub.add_parser("count", help="count pattern matches")
+    _add_common(count)
+    count.add_argument(
+        "--pattern", action="append", required=True, help="repeatable"
+    )
+
+    motifs = sub.add_parser("motifs", help="motif counting")
+    _add_common(motifs)
+    motifs.add_argument("--size", type=int, default=4, choices=(3, 4, 5))
+
+    fsm = sub.add_parser("fsm", help="frequent subgraph mining")
+    _add_common(fsm)
+    fsm.add_argument("--support", type=int, required=True)
+    fsm.add_argument("--max-edges", type=int, default=3)
+
+    cliques = sub.add_parser("cliques", help="clique census")
+    _add_common(cliques)
+    cliques.add_argument("--max-size", type=int, default=6)
+
+    equation = sub.add_parser("equation", help="print morphing equations")
+    equation.add_argument("patterns", nargs="+")
+
+    orbits = sub.add_parser("orbits", help="graphlet orbit signature of a vertex")
+    _add_common(orbits)
+    orbits.add_argument("--vertex", type=int, required=True)
+    orbits.add_argument("--size", type=int, default=3, choices=(3, 4))
+
+    approx = sub.add_parser("approx", help="approximate pattern count")
+    _add_common(approx)
+    approx.add_argument("--pattern", required=True)
+    approx.add_argument("--prob", type=float, default=0.5)
+    approx.add_argument("--trials", type=int, default=5)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "count": cmd_count,
+        "motifs": cmd_motifs,
+        "fsm": cmd_fsm,
+        "cliques": cmd_cliques,
+        "equation": cmd_equation,
+        "orbits": cmd_orbits,
+        "approx": cmd_approx,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Enumerating the space of alternative pattern sets (Section 5).
+
+Algorithm 1 *navigates* the exponential space of alternative pattern
+sets; this module *enumerates* it, which is what the paper's Figure 15e
+experiment does (250 alternative sets for 5-motif counting, all timed).
+Enumeration is bounded and deduplicated; every yielded set is verified
+derivable for every query.
+
+For counting, a query's options are: measure it directly, or measure its
+superpattern closure under any edge/vertex variant assignment (the
+recursive-substitution space collapses to variant assignments once the
+closure is fixed — substituting a pattern twice lands back on closure
+members). For non-invertible aggregations the only legal alternative is
+the all-vertex-induced closure.
+"""
+
+from __future__ import annotations
+
+from itertools import islice, product
+from typing import Iterator
+
+from repro.core.aggregation import Aggregation, CountAggregation
+from repro.core.equations import (
+    Item,
+    UnderivableError,
+    item_of,
+    normalize_item,
+    solve_query,
+)
+from repro.core.generation import skeleton, superpattern_closure
+from repro.core.pattern import Pattern
+from repro.core.sdag import EDGE_INDUCED, VERTEX_INDUCED
+
+
+def query_options(
+    pattern: Pattern, aggregation: Aggregation | None = None
+) -> list[frozenset[Item]]:
+    """All single-query measurement options (direct + closure variants)."""
+    aggregation = aggregation or CountAggregation()
+    direct = frozenset({item_of(pattern)})
+    options: list[frozenset[Item]] = [direct]
+    closure = superpattern_closure(skeleton(pattern))
+
+    if not aggregation.invertible:
+        all_v = frozenset(normalize_item(q, VERTEX_INDUCED) for q in closure)
+        if all_v != direct:
+            options.append(all_v)
+        return options
+
+    free = [q for q in closure if not q.is_clique]
+    fixed = [normalize_item(q, EDGE_INDUCED) for q in closure if q.is_clique]
+    for assignment in product((EDGE_INDUCED, VERTEX_INDUCED), repeat=len(free)):
+        items = frozenset(
+            [normalize_item(q, variant) for q, variant in zip(free, assignment)]
+            + fixed
+        )
+        if items not in options:
+            options.append(items)
+    return options
+
+
+def enumerate_alternative_sets(
+    patterns: list[Pattern],
+    aggregation: Aggregation | None = None,
+    limit: int = 512,
+) -> Iterator[frozenset[Item]]:
+    """Yield distinct, derivable alternative sets for a query set.
+
+    The first yielded set is always the unmorphed query set. The space is
+    the product of per-query options (deduplicated after union), truncated
+    at ``limit``; each set is checked to determine every query before
+    being yielded.
+    """
+    aggregation = aggregation or CountAggregation()
+    per_query = [query_options(p, aggregation) for p in patterns]
+    seen: set[frozenset[Item]] = set()
+
+    def generate() -> Iterator[frozenset[Item]]:
+        for combo in product(*per_query):
+            union = frozenset().union(*combo)
+            if union in seen:
+                continue
+            seen.add(union)
+            if _derives_all(union, patterns, aggregation):
+                yield union
+
+    yield from islice(generate(), limit)
+
+
+def _derives_all(
+    measured: frozenset[Item], patterns: list[Pattern], aggregation: Aggregation
+) -> bool:
+    for p in patterns:
+        item = item_of(p)
+        if item in measured:
+            continue
+        if not aggregation.invertible:
+            needed = {
+                normalize_item(q, VERTEX_INDUCED)
+                for q in superpattern_closure(skeleton(p))
+            }
+            if not needed <= measured:
+                return False
+            continue
+        try:
+            solve_query(item, measured)
+        except UnderivableError:
+            return False
+    return True
+
+
+def space_size(patterns: list[Pattern], aggregation: Aggregation | None = None) -> int:
+    """Upper bound on the distinct alternative sets (before union dedup)."""
+    total = 1
+    for p in patterns:
+        total *= len(query_options(p, aggregation))
+    return total

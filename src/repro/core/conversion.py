@@ -1,0 +1,181 @@
+"""Result transformation (Section 6): Algorithms 2 and 3.
+
+After the matching engine processes the *alternative* patterns, their
+results must become results for the original queries:
+
+* :func:`convert_counts` — counting results via the triangular solve of
+  :mod:`repro.core.equations` (coefficients may be negative; counting's
+  ``⊕`` is invertible).
+* :func:`convert_aggregation_store` — Algorithm 2: post-matching
+  conversion of an aggregation store by permuting aggregation keys
+  through ``φ(p, q)`` and reducing with the application's ``⊕``. Used for
+  non-invertible aggregations (MNI, match lists), which only admit the
+  union direction of Eq. 1.
+* :class:`OnTheFlyConverter` — Algorithm 3: wraps the application's
+  per-match UDF so matches for alternative patterns are permuted into
+  query-pattern matches as the engine streams them.
+
+A key subtlety handled here: morphing operates on *canonical skeletons*,
+but the application speaks in the query pattern's own vertex numbering.
+Every conversion therefore composes the canonicalizing permutation of the
+query with the subgraph isomorphisms into the alternative pattern, so the
+application never sees canonical ids (the "seamless" property of §6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.aggregation import Aggregation, CountAggregation, Match
+from repro.core.canonical import canonical_permutation
+from repro.core.equations import (
+    Item,
+    UnderivableError,
+    evaluate,
+    item_of,
+    normalize_item,
+    solve_query,
+)
+from repro.core.generation import skeleton, superpattern_closure
+from repro.core.isomorphism import occurrence_embeddings
+from repro.core.pattern import Pattern
+from repro.core.sdag import VERTEX_INDUCED
+
+
+def query_embeddings(query: Pattern, alternative_skel: Pattern) -> list[tuple[int, ...]]:
+    """Maps from the query's *original* vertices into an alternative skeleton.
+
+    One map per distinct occurrence of the query's shape inside the
+    alternative; each composes the query's canonicalizing permutation with
+    an occurrence embedding, so ``g[u]`` is the alternative vertex playing
+    the role of the query's own vertex ``u``.
+    """
+    to_canonical = canonical_permutation(query.edge_induced())
+    q_skel = skeleton(query)
+    maps = []
+    for f in occurrence_embeddings(q_skel, alternative_skel):
+        maps.append(tuple(f[to_canonical[u]] for u in range(query.n)))
+    return maps
+
+
+def convert_counts(
+    queries: Iterable[Pattern],
+    measured_values: dict[Item, int],
+) -> dict[Pattern, int]:
+    """Solve every query's count from the measured alternative counts."""
+    measured = frozenset(measured_values)
+    out: dict[Pattern, int] = {}
+    for q in queries:
+        expression = solve_query(item_of(q), measured)
+        out[q] = evaluate(expression, measured_values)
+    return out
+
+
+def convert_aggregation_store(
+    queries: Iterable[Pattern],
+    store: dict[Item, Any],
+    aggregation: Aggregation,
+) -> dict[Pattern, Any]:
+    """Algorithm 2: derive each query's aggregation value from the store.
+
+    For a query measured directly, the value passes through (permuted back
+    to the query's own vertex numbering). Otherwise the query must be
+    edge-induced and every superpattern in its closure measured
+    vertex-induced; Eq. 1's disjoint union then makes the plain ``⊕`` of
+    permuted values exact, with no inverse needed.
+    """
+    store = {normalize_item(*k): v for k, v in store.items()}
+    if isinstance(aggregation, CountAggregation):
+        return convert_counts(queries, store)
+
+    out: dict[Pattern, Any] = {}
+    for query in queries:
+        item = item_of(query)
+        q_skel, q_variant = item
+        if item in store:
+            # Measured directly; only the canonical renaming must be undone.
+            perm = canonical_permutation(query.edge_induced())
+            out[query] = aggregation.finalize(
+                query, aggregation.permute(store[item], tuple(perm))
+            )
+            continue
+        if q_variant == VERTEX_INDUCED:
+            raise UnderivableError(
+                f"{aggregation.name} has no inverse; a vertex-induced query "
+                "must be measured directly, not derived by subtraction"
+            )
+        value = aggregation.zero()
+        for sup in superpattern_closure(q_skel):
+            sup_item = normalize_item(sup, VERTEX_INDUCED)
+            if sup_item not in store:
+                raise UnderivableError(
+                    f"alternative {sup_item} missing from aggregation store"
+                )
+            for g in query_embeddings(query, sup):
+                value = aggregation.combine(
+                    value, aggregation.permute(store[sup_item], g)
+                )
+        # Aut(query)-closure completes the per-occurrence representatives
+        # into the full embedding set (see MNIAggregation.finalize).
+        out[query] = aggregation.finalize(query, value)
+    return out
+
+
+class OnTheFlyConverter:
+    """Algorithm 3: stream alternative-pattern matches as query matches.
+
+    Instantiated per (query, alternative) pair; calling it with a match
+    for the alternative pattern invokes the wrapped ``process`` UDF once
+    per distinct occurrence of the query inside that match, with vertices
+    arranged in the query's own numbering.
+    """
+
+    def __init__(
+        self,
+        query: Pattern,
+        alternative_skel: Pattern,
+        process: Callable[[Pattern, Match], None],
+    ) -> None:
+        self.query = query
+        self.process = process
+        self._maps = query_embeddings(query, alternative_skel)
+
+    @property
+    def expansion_factor(self) -> int:
+        """Matches emitted per alternative match (the Eq. 1 coefficient)."""
+        return len(self._maps)
+
+    def __call__(self, alternative_match: Match) -> None:
+        for g in self._maps:
+            permuted = tuple(alternative_match[g[u]] for u in range(self.query.n))
+            self.process(self.query, permuted)
+
+
+def on_the_fly_plan(
+    query: Pattern,
+    measured_items: Iterable[Item],
+    process: Callable[[Pattern, Match], None],
+) -> dict[Item, OnTheFlyConverter]:
+    """Build the per-alternative converters that reconstruct a query stream.
+
+    The measured items must be the vertex-induced closure of the query
+    (or contain the query itself, in which case a single identity
+    converter is returned).
+    """
+    measured = {normalize_item(*m) for m in measured_items}
+    item = item_of(query)
+    q_skel, q_variant = item
+    if item in measured:
+        return {item: OnTheFlyConverter(query, q_skel, process)}
+    if q_variant == VERTEX_INDUCED:
+        raise UnderivableError(
+            "match streams cannot be derived for a vertex-induced query "
+            "unless it is measured directly"
+        )
+    plan: dict[Item, OnTheFlyConverter] = {}
+    for sup in superpattern_closure(q_skel):
+        sup_item = normalize_item(sup, VERTEX_INDUCED)
+        if sup_item not in measured:
+            raise UnderivableError(f"alternative {sup_item} not in measured set")
+        plan[sup_item] = OnTheFlyConverter(query, sup, process)
+    return plan

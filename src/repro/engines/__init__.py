@@ -1,0 +1,13 @@
+"""The four graph-mining system substrates the paper integrates with.
+
+``peregrine`` (pattern-aware, native anti-edges), ``autozero``
+(AutoMine/GraphZero-style compiled + merged schedules), ``graphpi``
+(performance-model order selection + IEP, edge-induced only), ``bigjoin``
+(worst-case-optimal joins, breadth-first), plus ``sumpa``
+(pattern-abstraction matching for pattern sets). All share the
+instrumented kernel in ``base``.
+"""
+
+from repro.engines.base import EngineStats, MiningEngine
+
+__all__ = ["EngineStats", "MiningEngine"]

@@ -1,0 +1,6 @@
+"""AutoZero: AutoMine [40] + GraphZero [39] hybrid with schedule merging."""
+
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.autozero.schedule import MergedSchedule, merge_schedules
+
+__all__ = ["AutoZeroEngine", "MergedSchedule", "merge_schedules"]

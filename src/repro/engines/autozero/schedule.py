@@ -1,0 +1,132 @@
+"""AutoZero schedules and schedule merging.
+
+AutoMine [40] compiles patterns into nested-loop set-operation schedules
+and batches the schedules of multiple patterns; GraphZero [39] adds
+symmetry breaking. The paper's in-house "AutoZero" combines both:
+symmetry-broken schedules whose overlapping loop prefixes are merged so
+shared set operations execute once (Section 7's description).
+
+Here a *schedule* is an :class:`~repro.engines.plan.ExplorationPlan` and
+merging builds a trie keyed by each level's full constraint signature:
+two patterns share a trie node exactly when the candidate computation at
+that level is identical, in which case the intersection/difference work
+is performed once for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pattern import Pattern
+from repro.engines.base import EngineStats, level_candidates
+from repro.engines.plan import ExplorationPlan, PlanLevel
+from repro.graph.datagraph import DataGraph
+
+
+def _merge_key(level: PlanLevel) -> tuple:
+    """Levels with equal keys compute identical candidate sets."""
+    return (
+        level.backward_neighbors,
+        level.backward_anti,
+        level.upper_bounds,
+        level.lower_bounds,
+        level.non_adjacent,
+        level.label,
+    )
+
+
+@dataclass
+class ScheduleTrieNode:
+    """One merged loop level shared by several pattern schedules."""
+
+    level: PlanLevel
+    children: dict[tuple, "ScheduleTrieNode"] = field(default_factory=dict)
+    #: Patterns whose schedule ends at this level (counted via fast path).
+    completes: list[Pattern] = field(default_factory=list)
+
+    @property
+    def loop_count(self) -> int:
+        """Merged loop levels in this subtree (for merge-quality metrics)."""
+        return 1 + sum(c.loop_count for c in self.children.values())
+
+
+@dataclass
+class MergedSchedule:
+    """A forest of merged schedules covering a pattern set."""
+
+    roots: dict[tuple, ScheduleTrieNode]
+    num_patterns: int
+    total_levels: int
+
+    @property
+    def merged_levels(self) -> int:
+        return sum(r.loop_count for r in self.roots.values())
+
+    @property
+    def sharing_ratio(self) -> float:
+        """< 1.0 when merging saved loop levels (1.0 = nothing shared)."""
+        if self.total_levels == 0:
+            return 1.0
+        return self.merged_levels / self.total_levels
+
+
+def merge_schedules(plans: list[ExplorationPlan]) -> MergedSchedule:
+    """Merge pattern schedules into a trie of shared loop prefixes."""
+    roots: dict[tuple, ScheduleTrieNode] = {}
+    total_levels = 0
+    for plan in plans:
+        total_levels += plan.depth
+        cursor: dict[tuple, ScheduleTrieNode] = roots
+        node: ScheduleTrieNode | None = None
+        for level in plan.levels:
+            key = _merge_key(level)
+            node = cursor.get(key)
+            if node is None:
+                node = ScheduleTrieNode(level=level)
+                cursor[key] = node
+            cursor = node.children
+        assert node is not None
+        node.completes.append(plan.pattern)
+    return MergedSchedule(
+        roots=roots, num_patterns=len(plans), total_levels=total_levels
+    )
+
+
+def execute_merged_counts(
+    graph: DataGraph,
+    schedule: MergedSchedule,
+    stats: EngineStats,
+) -> dict[Pattern, int]:
+    """Count matches for every pattern in one merged pass.
+
+    Depth-first over the trie: each node computes its candidate set once;
+    patterns completing at the node add the candidate count (fast path),
+    while deeper children iterate the candidates.
+    """
+    counts: dict[Pattern, int] = {}
+    stack: list[int] = []
+
+    def walk(node: ScheduleTrieNode) -> None:
+        cand = level_candidates(graph, node.level, stack, stats)
+        size = int(len(cand))
+        for pattern in node.completes:
+            counts[pattern] = counts.get(pattern, 0) + size
+            stats.matches += size
+        if not node.children or size == 0:
+            return
+        children = list(node.children.values())
+        stack.append(0)
+        for v in cand.tolist():
+            stack[-1] = v
+            for child in children:
+                walk(child)
+        stack.pop()
+
+    import time
+
+    start = time.perf_counter()
+    for root in schedule.roots.values():
+        walk(root)
+    stats.total_seconds += time.perf_counter() - start
+    stats.patterns_matched += schedule.num_patterns
+    return counts

@@ -1,0 +1,345 @@
+"""Shared engine machinery: stats, the matching kernel, the engine API.
+
+All four system substrates (Peregrine-, AutoZero-, GraphPi- and
+BigJoin-style) interpret :class:`~repro.engines.plan.ExplorationPlan`
+programs through kernels in this module, differing in how plans are
+constructed, ordered, merged and materialized. The shared
+:class:`EngineStats` exposes exactly the quantities the paper profiles:
+set-operation counts/time (Figure 4b/c, 12c/d, 13b), UDF calls/time
+(Figure 4a/d/e, 15b), materialization volume, and Filter-UDF branches and
+branch misses (Figure 14c/d).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation, CountAggregation, Match
+from repro.core.canonical import pattern_id
+from repro.core.pattern import Pattern
+from repro.engines.plan import ExplorationPlan
+from repro.engines.setops import (
+    BranchPredictor,
+    SetOpStats,
+    bound_above,
+    bound_below,
+    difference,
+    exclude,
+    intersect,
+)
+from repro.graph.datagraph import DataGraph
+
+MatchCallback = Callable[[Pattern, Match], None]
+
+
+class StopExploration(Exception):
+    """Raised by a match callback to end exploration early.
+
+    Peregrine supports early termination for applications that only need
+    a prefix of the match stream (existence probes, top-k); the kernels
+    treat this exception as a clean stop, with all counters intact.
+    """
+
+
+@dataclass
+class EngineStats:
+    """Instrumentation for one or more matching runs."""
+
+    setops: SetOpStats = field(default_factory=SetOpStats)
+    matches: int = 0
+    materialized: int = 0
+    udf_calls: int = 0
+    udf_seconds: float = 0.0
+    filter_calls: int = 0
+    filter_seconds: float = 0.0
+    predictor: BranchPredictor = field(default_factory=BranchPredictor)
+    total_seconds: float = 0.0
+    patterns_matched: int = 0
+
+    @property
+    def branches(self) -> int:
+        return self.predictor.branches
+
+    @property
+    def branch_misses(self) -> int:
+        return self.predictor.misses
+
+    @property
+    def other_seconds(self) -> float:
+        """Residual engine time (exploration machinery / "system time")."""
+        return max(
+            0.0,
+            self.total_seconds
+            - self.setops.seconds
+            - self.udf_seconds
+            - self.filter_seconds,
+        )
+
+    def merge(self, other: "EngineStats") -> None:
+        self.setops.merge(other.setops)
+        self.matches += other.matches
+        self.materialized += other.materialized
+        self.udf_calls += other.udf_calls
+        self.udf_seconds += other.udf_seconds
+        self.filter_calls += other.filter_calls
+        self.filter_seconds += other.filter_seconds
+        self.predictor.branches += other.predictor.branches
+        self.predictor.misses += other.predictor.misses
+        self.total_seconds += other.total_seconds
+        self.patterns_matched += other.patterns_matched
+
+    def breakdown(self) -> dict[str, float]:
+        """Figure 4-style time split."""
+        return {
+            "setops": self.setops.seconds,
+            "udf": self.udf_seconds,
+            "filter": self.filter_seconds,
+            "system": self.other_seconds,
+            "total": self.total_seconds,
+        }
+
+
+def level_candidates(
+    graph: DataGraph,
+    level,
+    stack: list[int],
+    stats: EngineStats,
+) -> np.ndarray:
+    """Candidate data vertices for one plan level given the partial match.
+
+    ``level`` is a :class:`~repro.engines.plan.PlanLevel`; all positional
+    references index into ``stack`` (the data vertices matched at earlier
+    levels).
+    """
+    if level.backward_neighbors:
+        arrays = [graph.neighbors(stack[j]) for j in level.backward_neighbors]
+        cand = arrays[0]
+        for other in arrays[1:]:
+            cand = intersect(cand, other, stats.setops)
+    elif level.label is not None and graph.is_labeled:
+        cand = graph.vertices_by_label.get(level.label, _EMPTY)
+    else:
+        cand = graph.all_vertices
+
+    for j in level.backward_anti:
+        cand = difference(cand, graph.neighbors(stack[j]), stats.setops)
+
+    if level.upper_bounds:
+        cand = bound_above(cand, min(stack[j] for j in level.upper_bounds))
+    if level.lower_bounds:
+        cand = bound_below(cand, max(stack[j] for j in level.lower_bounds))
+
+    if level.label is not None and graph.is_labeled and level.backward_neighbors:
+        labels = graph.labels
+        assert labels is not None
+        cand = cand[labels[cand] == level.label]
+
+    if level.non_adjacent:
+        cand = exclude(cand, [stack[j] for j in level.non_adjacent])
+    return cand
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def run_plan(
+    graph: DataGraph,
+    plan: ExplorationPlan,
+    stats: EngineStats,
+    on_match: Callable[[Match], None] | None = None,
+) -> int:
+    """Depth-first interpretation of a plan; returns the match count.
+
+    Without ``on_match`` the innermost loop is the counting fast path:
+    the candidate array's length is added without materializing matches
+    (the set-optimization Peregrine uses for counting, §3.1). With a
+    callback every match is materialized in pattern-vertex order.
+    """
+    depth = plan.depth
+    stack: list[int] = [0] * depth
+    count = 0
+
+    def descend(level_index: int) -> int:
+        cand = level_candidates(graph, plan.levels[level_index], stack, stats)
+        if level_index == depth - 1:
+            if on_match is None:
+                return int(len(cand))
+            emitted = 0
+            for v in cand.tolist():
+                stack[level_index] = v
+                match = plan.match_to_pattern_order(stack)
+                stats.materialized += 1
+                on_match(match)
+                emitted += 1
+            return emitted
+        total = 0
+        for v in cand.tolist():
+            stack[level_index] = v
+            total += descend(level_index + 1)
+        return total
+
+    start = time.perf_counter()
+    stopped_early = False
+    try:
+        if depth == 1:
+            cand = level_candidates(graph, plan.levels[0], stack, stats)
+            if on_match is None:
+                count = int(len(cand))
+            else:
+                for v in cand.tolist():
+                    stats.materialized += 1
+                    on_match((v,))
+                    count += 1
+        else:
+            count = descend(0)
+    except StopExploration:
+        stopped_early = True
+        count = 0  # partial counts were delivered through the callback
+    stats.total_seconds += time.perf_counter() - start
+    if not stopped_early:
+        stats.matches += count
+    stats.patterns_matched += 1
+    return count
+
+
+class MiningEngine(ABC):
+    """Common engine API: counting, aggregation and match streaming.
+
+    Subclasses set ``native_anti_edges``; engines without native support
+    (GraphPi, BigJoin) transparently match the edge-induced skeleton of an
+    anti-edge pattern and apply a Filter UDF per match — the exact
+    behaviour whose cost Figure 14 quantifies and morphing eliminates.
+    """
+
+    name = "engine"
+    native_anti_edges = True
+
+    def __init__(self) -> None:
+        self.stats = EngineStats()
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+    # -- plan construction (engines override) ------------------------------
+
+    def make_plan(self, pattern: Pattern, graph: DataGraph) -> ExplorationPlan:
+        return ExplorationPlan.build(pattern)
+
+    def _execute(
+        self,
+        graph: DataGraph,
+        plan: ExplorationPlan,
+        on_match: Callable[[Match], None] | None = None,
+    ) -> int:
+        """Run one plan; engines may swap the kernel (AutoZero compiles)."""
+        return run_plan(graph, plan, self.stats, on_match)
+
+    # -- filter UDF for non-native anti-edges ------------------------------
+
+    def _filter_match(self, graph: DataGraph, pattern: Pattern, match: Match) -> bool:
+        """Filter UDF: reject matches violating the pattern's anti-edges.
+
+        Each anti-edge costs one data-dependent branch (an edge-existence
+        probe); the 2-bit predictor in the stats records misses.
+        """
+        start = time.perf_counter()
+        self.stats.filter_calls += 1
+        base_site = pattern_id(pattern) & 0xFFFF
+        ok = True
+        for idx, (u, v) in enumerate(sorted(pattern.anti_edges)):
+            # Probe the adjacency array (binary search), as the real
+            # systems do — a data-dependent branch per anti-edge.
+            adj = graph.neighbors(match[u])
+            pos = int(np.searchsorted(adj, match[v]))
+            present = pos < len(adj) and int(adj[pos]) == match[v]
+            self.stats.predictor.record(base_site + idx, present)
+            if present:
+                ok = False
+                break
+        self.stats.filter_seconds += time.perf_counter() - start
+        return ok
+
+    def _needs_filter(self, pattern: Pattern) -> bool:
+        return bool(pattern.anti_edges) and not self.native_anti_edges
+
+    def _plan_pattern(self, pattern: Pattern, graph: DataGraph) -> tuple[ExplorationPlan, bool]:
+        """Plan for a pattern, with a flag for post-filtering anti-edges."""
+        if self._needs_filter(pattern):
+            return self.make_plan(pattern.edge_induced(), graph), True
+        return self.make_plan(pattern, graph), False
+
+    # -- public mining operations ------------------------------------------
+
+    def count(self, graph: DataGraph, pattern: Pattern) -> int:
+        """Number of unique matches of ``pattern`` in ``graph``."""
+        plan, needs_filter = self._plan_pattern(pattern, graph)
+        if not needs_filter:
+            return self._execute(graph, plan)
+        holder = [0]
+
+        def on_match(match: Match) -> None:
+            if self._filter_match(graph, pattern, match):
+                holder[0] += 1
+
+        self._execute(graph, plan, on_match)
+        return holder[0]
+
+    def count_set(
+        self, graph: DataGraph, patterns: Iterable[Pattern]
+    ) -> dict[Pattern, int]:
+        """Counts for several patterns (engines may batch/merge plans)."""
+        return {p: self.count(graph, p) for p in patterns}
+
+    def explore(
+        self, graph: DataGraph, pattern: Pattern, process: MatchCallback
+    ) -> int:
+        """Stream every match through ``process``; returns the match count.
+
+        ``process`` is the application UDF: each call is timed and counted
+        (the Figure 4a/b bottleneck).
+        """
+        plan, needs_filter = self._plan_pattern(pattern, graph)
+        emitted = [0]
+
+        def on_match(match: Match) -> None:
+            if needs_filter and not self._filter_match(graph, pattern, match):
+                return
+            start = time.perf_counter()
+            process(pattern, match)
+            self.stats.udf_calls += 1
+            self.stats.udf_seconds += time.perf_counter() - start
+            emitted[0] += 1
+
+        self._execute(graph, plan, on_match)
+        return emitted[0]
+
+    def aggregate(
+        self, graph: DataGraph, pattern: Pattern, aggregation: Aggregation
+    ):
+        """Fold every match into an aggregation value.
+
+        Counting takes the native fast path (no per-match UDF); any other
+        aggregation pays one UDF invocation per match.
+        """
+        if isinstance(aggregation, CountAggregation) and not self._needs_filter(
+            pattern
+        ):
+            return self.count(graph, pattern)
+        if isinstance(aggregation, CountAggregation):
+            # Filtered counting: the filter is the UDF; counting is free.
+            return self.count(graph, pattern)
+
+        box = [aggregation.zero()]
+
+        def process(p: Pattern, match: Match) -> None:
+            box[0] = aggregation.combine(box[0], aggregation.from_match(p, match))
+            if aggregation.is_terminal(box[0]):
+                raise StopExploration()
+
+        self.explore(graph, pattern, process)
+        return aggregation.finalize(pattern, box[0])

@@ -1,0 +1,5 @@
+"""BigJoin-style worst-case-optimal join engine [4]."""
+
+from repro.engines.bigjoin.engine import BigJoinEngine
+
+__all__ = ["BigJoinEngine"]

@@ -1,0 +1,111 @@
+"""BigJoin-style worst-case-optimal join engine [4].
+
+BigJoin evaluates subgraph queries as a sequence of relational joins in a
+dataflow system: bindings are extended one query vertex at a time,
+breadth-first, with every intermediate binding batch materialized (its
+"low-memory dataflow" batches rounds, but per-level materialization is
+the structural signature). Reproduced behaviours:
+
+* **breadth-first batch execution**: each level materializes the full
+  prefix-binding table before the next level runs (the ``materialized``
+  counter grows at every level, unlike the DFS engines);
+* candidate extension through adjacency intersections (the worst-case
+  optimal extend step);
+* **no native anti-edge support**: vertex-induced queries need a
+  per-match Filter UDF, exactly like GraphPi (Figure 4e / Figure 14b).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.aggregation import Match
+from repro.core.pattern import Pattern
+from repro.engines.base import MiningEngine, level_candidates
+from repro.engines.plan import ExplorationPlan
+from repro.graph.datagraph import DataGraph
+
+
+class BigJoinEngine(MiningEngine):
+    """Breadth-first worst-case-optimal join matcher (BigJoin-style)."""
+
+    name = "bigjoin"
+    native_anti_edges = False
+
+    def _run_bfs(
+        self,
+        graph: DataGraph,
+        plan: ExplorationPlan,
+        on_match: Callable[[Match], None] | None,
+    ) -> int:
+        """Level-synchronous join: extend all bindings by one vertex."""
+        from repro.engines.base import StopExploration
+
+        start = time.perf_counter()
+        stats = self.stats
+        depth = plan.depth
+        bindings: list[list[int]] = [[]]
+        count = 0
+        stopped_early = False
+        try:
+            for level_index, level in enumerate(plan.levels):
+                last = level_index == depth - 1
+                next_bindings: list[list[int]] = []
+                for binding in bindings:
+                    cand = level_candidates(graph, level, binding, stats)
+                    if last and on_match is None:
+                        count += int(len(cand))
+                        stats.materialized += int(len(cand))
+                        continue
+                    for v in cand.tolist():
+                        extended = binding + [v]
+                        stats.materialized += 1
+                        if last:
+                            count += 1
+                            on_match(plan.match_to_pattern_order(extended))
+                        else:
+                            next_bindings.append(extended)
+                bindings = next_bindings
+                if not bindings and not last:
+                    count = 0
+                    break
+        except StopExploration:
+            stopped_early = True
+            count = 0  # partial results were delivered via the callback
+        stats.total_seconds += time.perf_counter() - start
+        if not stopped_early:
+            stats.matches += count
+        stats.patterns_matched += 1
+        return count
+
+    # -- MiningEngine overrides (BFS instead of the DFS kernel) ------------
+
+    def count(self, graph: DataGraph, pattern: Pattern) -> int:
+        plan, needs_filter = self._plan_pattern(pattern, graph)
+        if not needs_filter:
+            return self._run_bfs(graph, plan, None)
+        kept = [0]
+
+        def on_match(match: Match) -> None:
+            if self._filter_match(graph, pattern, match):
+                kept[0] += 1
+
+        self._run_bfs(graph, plan, on_match)
+        return kept[0]
+
+    def explore(self, graph: DataGraph, pattern: Pattern, process) -> int:
+        plan, needs_filter = self._plan_pattern(pattern, graph)
+        emitted = [0]
+
+        def on_match(match: Match) -> None:
+            if needs_filter and not self._filter_match(graph, pattern, match):
+                return
+            udf_start = time.perf_counter()
+            process(pattern, match)
+            self.stats.udf_calls += 1
+            self.stats.udf_seconds += time.perf_counter() - udf_start
+            emitted[0] += 1
+
+        self._run_bfs(graph, plan, on_match)
+        return emitted[0]

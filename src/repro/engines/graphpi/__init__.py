@@ -1,0 +1,5 @@
+"""GraphPi-style engine [57]."""
+
+from repro.engines.graphpi.engine import GraphPiEngine
+
+__all__ = ["GraphPiEngine"]

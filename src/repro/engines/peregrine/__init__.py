@@ -1,0 +1,5 @@
+"""Peregrine-style engine [26]."""
+
+from repro.engines.peregrine.engine import PeregrineEngine
+
+__all__ = ["PeregrineEngine"]

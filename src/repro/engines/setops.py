@@ -1,0 +1,109 @@
+"""Instrumented sorted-set operations.
+
+Matching engines spend most of their time intersecting and differencing
+sorted adjacency arrays (Observation 2 / Figure 4); these wrappers are the
+single place that work happens so the per-op counters and timings that
+the paper's profiling figures report come for free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SetOpStats:
+    """Counters for the set-operation portion of a matching run."""
+
+    intersections: int = 0
+    differences: int = 0
+    elements_scanned: int = 0
+    seconds: float = 0.0
+
+    @property
+    def total_ops(self) -> int:
+        return self.intersections + self.differences
+
+    def merge(self, other: "SetOpStats") -> None:
+        self.intersections += other.intersections
+        self.differences += other.differences
+        self.elements_scanned += other.elements_scanned
+        self.seconds += other.seconds
+
+
+def intersect(a: np.ndarray, b: np.ndarray, stats: SetOpStats) -> np.ndarray:
+    """Sorted intersection ``a ∩ b`` (both inputs sorted and unique)."""
+    start = time.perf_counter()
+    if len(a) == 0 or len(b) == 0:
+        out = _EMPTY
+    else:
+        out = np.intersect1d(a, b, assume_unique=True)
+    stats.intersections += 1
+    stats.elements_scanned += len(a) + len(b)
+    stats.seconds += time.perf_counter() - start
+    return out
+
+
+def difference(a: np.ndarray, b: np.ndarray, stats: SetOpStats) -> np.ndarray:
+    """Sorted difference ``a \\ b`` (both inputs sorted and unique)."""
+    start = time.perf_counter()
+    if len(a) == 0:
+        out = _EMPTY
+    elif len(b) == 0:
+        out = a
+    else:
+        out = np.setdiff1d(a, b, assume_unique=True)
+    stats.differences += 1
+    stats.elements_scanned += len(a) + len(b)
+    stats.seconds += time.perf_counter() - start
+    return out
+
+
+def bound_below(arr: np.ndarray, strict_lower: int) -> np.ndarray:
+    """Entries of a sorted array strictly greater than ``strict_lower``."""
+    return arr[np.searchsorted(arr, strict_lower, side="right"):]
+
+
+def bound_above(arr: np.ndarray, strict_upper: int) -> np.ndarray:
+    """Entries of a sorted array strictly less than ``strict_upper``."""
+    return arr[: np.searchsorted(arr, strict_upper, side="left")]
+
+
+def exclude(arr: np.ndarray, values: list[int]) -> np.ndarray:
+    """Remove a handful of specific values (injectivity filtering)."""
+    if not values or len(arr) == 0:
+        return arr
+    mask = ~np.isin(arr, values, assume_unique=False)
+    return arr[mask] if not mask.all() else arr
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class BranchPredictor:
+    """Deterministic 2-bit saturating branch predictor.
+
+    Stands in for the hardware branch-miss counters of Figure 14c/d: each
+    Filter-UDF edge-existence check is one branch; a miss is recorded when
+    the 2-bit counter's prediction disagrees with the outcome.
+    """
+
+    counters: dict[int, int] = field(default_factory=dict)
+    branches: int = 0
+    misses: int = 0
+
+    def record(self, site: int, taken: bool) -> None:
+        state = self.counters.get(site, 2)  # weakly taken
+        predicted_taken = state >= 2
+        self.branches += 1
+        if predicted_taken != taken:
+            self.misses += 1
+        if taken:
+            state = min(state + 1, 3)
+        else:
+            state = max(state - 1, 0)
+        self.counters[site] = state

@@ -1,0 +1,5 @@
+"""SumPA-style pattern-abstraction engine [19]."""
+
+from repro.engines.sumpa.engine import SumPAEngine
+
+__all__ = ["SumPAEngine"]

@@ -1,0 +1,5 @@
+"""Data-graph substrate: storage, generators, datasets, partitioning."""
+
+from repro.graph.datagraph import DataGraph
+
+__all__ = ["DataGraph"]

@@ -1,0 +1,141 @@
+"""The data graph: the (large) graph that patterns are mined in.
+
+Stored as per-vertex sorted numpy adjacency arrays — the representation
+the matching engines' set operations (sorted intersections/differences)
+run on, mirroring the adjacency-list layout of Peregrine/GraphPi. Vertex
+ids are dense ``0..n-1``; optional integer labels support labeled mining
+(FSM). Undirected, simple (no self-loops, no parallel edges).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class DataGraph:
+    """Immutable undirected data graph with sorted adjacency arrays."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]],
+        labels: Sequence[int] | None = None,
+        name: str = "graph",
+    ) -> None:
+        if num_vertices < 1:
+            raise ValueError("graph needs at least one vertex")
+        self.name = name
+        self.num_vertices = num_vertices
+
+        pair_set: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                continue  # drop self-loops silently (standard cleaning step)
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise ValueError(f"edge ({u}, {v}) out of range")
+            pair_set.add((u, v) if u < v else (v, u))
+        self.num_edges = len(pair_set)
+
+        neighbor_lists: list[list[int]] = [[] for _ in range(num_vertices)]
+        for u, v in pair_set:
+            neighbor_lists[u].append(v)
+            neighbor_lists[v].append(u)
+        self._adjacency: list[np.ndarray] = [
+            np.array(sorted(ns), dtype=np.int64) for ns in neighbor_lists
+        ]
+        self._edge_set = frozenset(pair_set)
+
+        if labels is not None:
+            labels_arr = np.asarray(labels, dtype=np.int64)
+            if labels_arr.shape != (num_vertices,):
+                raise ValueError("labels must have one entry per vertex")
+            self.labels: np.ndarray | None = labels_arr
+        else:
+            self.labels = None
+
+    # -- basic queries ---------------------------------------------------
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (do not mutate)."""
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adjacency[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return ((u, v) if u < v else (v, u)) in self._edge_set
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        """Iterate edges as ``(u, v)`` with ``u < v``."""
+        return iter(self._edge_set)
+
+    def label(self, v: int) -> int | None:
+        return None if self.labels is None else int(self.labels[v])
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.labels is not None
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        return np.array([len(a) for a in self._adjacency], dtype=np.int64)
+
+    @cached_property
+    def max_degree(self) -> int:
+        return int(self.degrees.max()) if self.num_vertices else 0
+
+    @cached_property
+    def avg_degree(self) -> float:
+        return 2.0 * self.num_edges / self.num_vertices if self.num_vertices else 0.0
+
+    @cached_property
+    def vertices_by_label(self) -> dict[int, np.ndarray]:
+        """Sorted vertex-id array per label (empty dict when unlabeled)."""
+        if self.labels is None:
+            return {}
+        out: dict[int, list[int]] = {}
+        for v in range(self.num_vertices):
+            out.setdefault(int(self.labels[v]), []).append(v)
+        return {lab: np.array(vs, dtype=np.int64) for lab, vs in out.items()}
+
+    @cached_property
+    def num_labels(self) -> int:
+        return len(self.vertices_by_label)
+
+    @cached_property
+    def all_vertices(self) -> np.ndarray:
+        return np.arange(self.num_vertices, dtype=np.int64)
+
+    def high_degree_threshold(self, percentile: float = 95.0) -> int:
+        """Degree at the given percentile (cost-model enhancement, §5.2)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(np.percentile(self.degrees, percentile))
+
+    # -- derived graphs ----------------------------------------------------
+
+    def subgraph(self, vertices: Sequence[int], name: str | None = None) -> "DataGraph":
+        """Induced subgraph on ``vertices``, re-indexed to ``0..k-1``."""
+        keep = sorted(set(int(v) for v in vertices))
+        remap = {v: i for i, v in enumerate(keep)}
+        edges = [
+            (remap[u], remap[v])
+            for u, v in self._edge_set
+            if u in remap and v in remap
+        ]
+        labels = None
+        if self.labels is not None:
+            labels = [int(self.labels[v]) for v in keep]
+        return DataGraph(
+            len(keep), edges, labels=labels, name=name or f"{self.name}-sub"
+        )
+
+    def __repr__(self) -> str:
+        lab = f", labels={self.num_labels}" if self.is_labeled else ""
+        return (
+            f"DataGraph({self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}{lab})"
+        )

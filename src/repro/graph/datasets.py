@@ -1,0 +1,103 @@
+"""Synthetic stand-ins for the paper's evaluation graphs (Figure 11b).
+
+The paper mines MiCo, MAG, Products, Orkut and Friendster — graphs of
+100K to 65M vertices. Those datasets (and that scale) are unavailable
+offline, so each is replaced by a deterministic synthetic graph that
+preserves the properties morphing is sensitive to:
+
+* the *relative* size ordering (MI < MG < PR < OK < FR),
+* label cardinality for the labeled graphs (MiCo 29, MAG 349, Products 47),
+* heavy-tailed degree distributions with hubs (the cost model's
+  high-degree restriction), and
+* meaningful clustering so dense patterns (cliques, chordal cycles) have
+  non-trivial counts.
+
+Vertex counts are scaled down ~300× so complete experiment sweeps run in
+seconds; DESIGN.md documents why relative speedup shapes survive the
+scaling. Every accessor is memoized — the graphs are immutable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import assign_labels, power_law_cluster
+
+#: name -> (vertices, attach, triangle_prob, labels, label_skew, seed)
+_SPECS: dict[str, tuple[int, int, float, int | None, float, int]] = {
+    # MiCo: co-authorship, 29 research-field labels, clustered.
+    "mico": (350, 6, 0.55, 29, 1.1, 11),
+    # MAG: citation graph, 349 venue labels, sparser per-vertex degree.
+    "mag": (900, 4, 0.35, 349, 1.3, 23),
+    # Products: co-purchasing, 47 category labels, high average degree.
+    "products": (1400, 9, 0.45, 47, 1.0, 37),
+    # Orkut: unlabeled social network, dense.
+    "orkut": (1800, 12, 0.40, None, 0.0, 47),
+    # Friendster: unlabeled social network, largest.
+    "friendster": (2600, 10, 0.30, None, 0.0, 59),
+}
+
+#: Paper's two-letter dataset codes.
+DATASET_CODES = {"MI": "mico", "MG": "mag", "PR": "products", "OK": "orkut", "FR": "friendster"}
+
+
+def load(name: str) -> DataGraph:
+    """Load a synthetic stand-in by name or paper code (e.g. "MI")."""
+    key = DATASET_CODES.get(name, name).lower()
+    if key not in _SPECS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(_SPECS)}")
+    return _load(key)
+
+
+@lru_cache(maxsize=None)
+def _load(key: str) -> DataGraph:
+    vertices, attach, tri, labels, skew, seed = _SPECS[key]
+    graph = power_law_cluster(vertices, attach, tri, seed=seed, name=key)
+    if labels is not None:
+        graph = assign_labels(graph, labels, skew=skew, seed=seed + 1)
+    return graph
+
+
+def mico() -> DataGraph:
+    """MiCo stand-in: labeled co-authorship-like graph (29 labels)."""
+    return load("mico")
+
+
+def mag() -> DataGraph:
+    """MAG stand-in: labeled citation-like graph (349 labels)."""
+    return load("mag")
+
+
+def products() -> DataGraph:
+    """Products stand-in: labeled co-purchase-like graph (47 labels)."""
+    return load("products")
+
+
+def orkut() -> DataGraph:
+    """Orkut stand-in: unlabeled dense social graph."""
+    return load("orkut")
+
+
+def friendster() -> DataGraph:
+    """Friendster stand-in: unlabeled, the largest of the suite."""
+    return load("friendster")
+
+
+def summary_table() -> list[dict[str, object]]:
+    """Rows mirroring Figure 11b for the synthetic suite."""
+    rows = []
+    for code, key in DATASET_CODES.items():
+        g = load(key)
+        rows.append(
+            {
+                "code": code,
+                "name": key,
+                "vertices": g.num_vertices,
+                "edges": g.num_edges,
+                "labels": g.num_labels if g.is_labeled else None,
+                "max_degree": g.max_degree,
+                "avg_degree": round(g.avg_degree, 1),
+            }
+        )
+    return rows

@@ -1,0 +1,162 @@
+"""Edge-list I/O for data graphs.
+
+Supports the plain whitespace edge-list format used by SNAP/Peregrine
+(`u v` per line, `#` comments) plus an optional label file (`v label` per
+line). Vertex ids are compacted to a dense range on load.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.graph.datagraph import DataGraph
+
+
+def load_edge_list(
+    path: str | os.PathLike,
+    label_path: str | os.PathLike | None = None,
+    name: str | None = None,
+) -> DataGraph:
+    """Load a graph from an edge-list file, remapping ids densely."""
+    raw_edges: list[tuple[int, int]] = []
+    seen_ids: set[int] = set()
+
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            raw_edges.append((u, v))
+            seen_ids.add(u)
+            seen_ids.add(v)
+
+    # Compact ids in numeric order, so already-dense files load unchanged.
+    ids = {raw: dense for dense, raw in enumerate(sorted(seen_ids))}
+    raw_edges = [(ids[u], ids[v]) for u, v in raw_edges]
+
+    labels = None
+    if label_path is not None:
+        labels = [0] * len(ids)
+        with open(label_path) as f:
+            for line in f:
+                line = line.strip()
+                if not line or line.startswith(("#", "%")):
+                    continue
+                v_str, lab_str = line.split()[:2]
+                v = int(v_str)
+                if v in ids:
+                    labels[ids[v]] = int(lab_str)
+
+    graph_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return DataGraph(len(ids), raw_edges, labels=labels, name=graph_name)
+
+
+def save_edge_list(
+    graph: DataGraph,
+    path: str | os.PathLike,
+    label_path: str | os.PathLike | None = None,
+) -> None:
+    """Write a graph (and optionally labels) back to disk."""
+    with open(path, "w") as f:
+        f.write(f"# {graph.name}: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        for u, v in sorted(graph.edges()):
+            f.write(f"{u} {v}\n")
+    if label_path is not None:
+        if not graph.is_labeled:
+            raise ValueError("graph has no labels to save")
+        with open(label_path, "w") as f:
+            for v in range(graph.num_vertices):
+                f.write(f"{v} {graph.label(v)}\n")
+
+
+def from_edges(edges: Iterable[tuple[int, int]], name: str = "graph") -> DataGraph:
+    """Build a graph from edges, inferring the vertex count."""
+    edge_list = list(edges)
+    n = 1 + max((max(u, v) for u, v in edge_list), default=0)
+    return DataGraph(n, edge_list, name=name)
+
+
+def load_metis(path: str | os.PathLike, name: str | None = None) -> DataGraph:
+    """Load a graph in METIS format.
+
+    METIS files carry a header ``<num_vertices> <num_edges> [fmt]`` and
+    one line per vertex listing its (1-indexed) neighbors. Vertex weights
+    and edge weights (fmt 1/10/11) are skipped — only the structure is
+    kept, matching how §7.4 uses METIS (partitioning input).
+    """
+    with open(path) as f:
+        lines = [
+            line.strip()
+            for line in f
+            if line.strip() and not line.lstrip().startswith("%")
+        ]
+    if not lines:
+        raise ValueError("empty METIS file")
+    header = lines[0].split()
+    num_vertices = int(header[0])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_vertex_weights = len(fmt) >= 2 and fmt[-2] == "1"
+    has_edge_weights = fmt[-1] == "1"
+    if len(lines) - 1 != num_vertices:
+        raise ValueError(
+            f"METIS header promises {num_vertices} vertex lines, "
+            f"found {len(lines) - 1}"
+        )
+    edges: list[tuple[int, int]] = []
+    for v, line in enumerate(lines[1:]):
+        tokens = [int(t) for t in line.split()]
+        if has_vertex_weights and tokens:
+            tokens = tokens[1:]
+        step = 2 if has_edge_weights else 1
+        for i in range(0, len(tokens), step):
+            u = tokens[i] - 1  # METIS is 1-indexed
+            if not (0 <= u < num_vertices):
+                raise ValueError(f"neighbor {u + 1} out of range on line {v + 2}")
+            if u != v:
+                edges.append((v, u))
+    graph_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return DataGraph(num_vertices, edges, name=graph_name)
+
+
+def save_metis(graph: DataGraph, path: str | os.PathLike) -> None:
+    """Write a graph in (unweighted) METIS format."""
+    with open(path, "w") as f:
+        f.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for v in range(graph.num_vertices):
+            f.write(" ".join(str(int(u) + 1) for u in graph.neighbors(v)) + "\n")
+
+
+def load_json_graph(path: str | os.PathLike, name: str | None = None) -> DataGraph:
+    """Load a graph from the node-link JSON form used by ``save_json_graph``."""
+    import json
+
+    with open(path) as f:
+        data = json.load(f)
+    labels = data.get("labels")
+    graph_name = name or data.get("name") or "graph"
+    return DataGraph(
+        int(data["num_vertices"]),
+        [tuple(e) for e in data["edges"]],
+        labels=labels,
+        name=graph_name,
+    )
+
+
+def save_json_graph(graph: DataGraph, path: str | os.PathLike) -> None:
+    """Write a graph (structure + labels) as a single JSON document."""
+    import json
+
+    data: dict = {
+        "name": graph.name,
+        "num_vertices": graph.num_vertices,
+        "edges": sorted(list(e) for e in graph.edges()),
+    }
+    if graph.is_labeled:
+        data["labels"] = [graph.label(v) for v in range(graph.num_vertices)]
+    with open(path, "w") as f:
+        json.dump(data, f)

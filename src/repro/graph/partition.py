@@ -1,0 +1,70 @@
+"""Graph partitioning (the §7.4 workload-shrinking step).
+
+The paper partitions Products and Orkut with METIS and mines the large
+7-vertex patterns *within* partitions, dropping cross-partition edges to
+bound the workload. METIS is unavailable offline; this module provides a
+streaming Linear Deterministic Greedy (LDG) partitioner — a standard
+lightweight alternative that, like METIS, produces balanced parts with a
+modest edge cut. Since §7.4 only needs "balanced parts, cut edges
+dropped", the substitution preserves the experiment's semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.datagraph import DataGraph
+
+
+def ldg_partition(graph: DataGraph, num_parts: int, seed: int = 0) -> list[int]:
+    """Assign each vertex to a part via Linear Deterministic Greedy.
+
+    Vertices are streamed in a random order; each goes to the part holding
+    most of its already-placed neighbors, weighted by a capacity penalty
+    ``1 - size/capacity`` that keeps parts balanced.
+    """
+    if num_parts < 1:
+        raise ValueError("need at least one part")
+    if num_parts == 1:
+        return [0] * graph.num_vertices
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(graph.num_vertices)
+    capacity = graph.num_vertices / num_parts * 1.1
+    assignment = [-1] * graph.num_vertices
+    sizes = [0] * num_parts
+    for v in order:
+        v = int(v)
+        neighbor_counts = [0] * num_parts
+        for w in graph.neighbors(v):
+            part = assignment[int(w)]
+            if part >= 0:
+                neighbor_counts[part] += 1
+        best_part, best_score = 0, -1.0
+        for part in range(num_parts):
+            penalty = max(0.0, 1.0 - sizes[part] / capacity)
+            score = (neighbor_counts[part] + 1e-9) * penalty
+            if score > best_score:
+                best_part, best_score = part, score
+        assignment[v] = best_part
+        sizes[best_part] += 1
+    return assignment
+
+
+def partition_subgraphs(
+    graph: DataGraph, num_parts: int, seed: int = 0
+) -> list[DataGraph]:
+    """Split a graph into part-induced subgraphs, dropping cut edges."""
+    assignment = ldg_partition(graph, num_parts, seed=seed)
+    parts: list[list[int]] = [[] for _ in range(num_parts)]
+    for v, part in enumerate(assignment):
+        parts[part].append(v)
+    return [
+        graph.subgraph(vs, name=f"{graph.name}-part{i}")
+        for i, vs in enumerate(parts)
+        if vs
+    ]
+
+
+def edge_cut(graph: DataGraph, assignment: list[int]) -> int:
+    """Number of edges crossing between parts."""
+    return sum(1 for u, v in graph.edges() if assignment[u] != assignment[v])

@@ -1,0 +1,17 @@
+"""Subgraph Morphing front-end: sessions and per-engine cost profiles."""
+
+from repro.morph.cache import MeasurementCache
+from repro.morph.profiles import profile_for
+from repro.morph.session import (
+    MorphingSession,
+    MorphRunResult,
+    compare_baseline_and_morphed,
+)
+
+__all__ = [
+    "MeasurementCache",
+    "MorphingSession",
+    "MorphRunResult",
+    "compare_baseline_and_morphed",
+    "profile_for",
+]

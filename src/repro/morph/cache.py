@@ -1,0 +1,63 @@
+"""Cross-query measurement cache.
+
+The same alternative pattern frequently recurs across queries and across
+session runs — FSM's level k+1 closures overlap level k's, and repeated
+ad-hoc queries share superpatterns (the overlap Section 5 exploits inside
+one selection, lifted across selections). :class:`MeasurementCache`
+memoizes measured aggregation values per (graph, item, aggregation), so a
+session never re-matches a pattern it has already measured on the same
+graph.
+
+Only hashable, immutable aggregation values are cached (counts, MNI
+tables); match-list values are deliberately not, to bound memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.aggregation import Aggregation, MatchListAggregation
+from repro.core.equations import Item
+from repro.graph.datagraph import DataGraph
+
+
+@dataclass
+class MeasurementCache:
+    """Memoized ``(graph, aggregation, item) -> value`` measurements."""
+
+    _store: dict[tuple[int, str, Item], Any] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    @staticmethod
+    def _cacheable(aggregation: Aggregation) -> bool:
+        return not isinstance(aggregation, MatchListAggregation)
+
+    def key(self, graph: DataGraph, aggregation: Aggregation, item: Item):
+        return (id(graph), aggregation.name, item)
+
+    def get(self, graph: DataGraph, aggregation: Aggregation, item: Item):
+        """Cached value or ``None`` (values themselves are never None)."""
+        if not self._cacheable(aggregation):
+            return None
+        value = self._store.get(self.key(graph, aggregation, item))
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(
+        self, graph: DataGraph, aggregation: Aggregation, item: Item, value: Any
+    ) -> None:
+        if self._cacheable(aggregation) and value is not None:
+            self._store[self.key(graph, aggregation, item)] = value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,326 @@
+"""End-to-end Subgraph Morphing pipeline (Figure 5).
+
+:class:`MorphingSession` wraps any engine and runs the enhanced workflow:
+*pattern transformation* (S-DAG + Algorithm 1) → *matching* (the wrapped
+engine, untouched) → *result transformation* (Algorithm 2 for batched
+aggregations, Algorithm 3 for streamed matches). Disable morphing with
+``enabled=False`` to get the baseline path; both paths return identical
+results, which every benchmark asserts (claim C1).
+
+The two public entry points mirror the paper's output modes:
+
+* :meth:`MorphingSession.run` — batched mode (counts, MNI, match lists);
+* :meth:`MorphingSession.run_streaming` — streaming mode with on-the-fly
+  conversion and an optional pre-conversion vertex filter (Section 7.3's
+  workload: the filter only depends on the matched vertex set, so it runs
+  once per alternative match, before fan-out).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.aggregation import Aggregation, CountAggregation, Match
+from repro.core.conversion import (
+    OnTheFlyConverter,
+    convert_aggregation_store,
+    convert_counts,
+    on_the_fly_plan,
+)
+from repro.core.costmodel import CostModel
+from repro.core.equations import Item, item_of, materialize
+from repro.core.pattern import Pattern
+from repro.core.selection import SelectionResult, select_alternative_patterns
+from repro.engines.base import EngineStats, MiningEngine
+from repro.graph.datagraph import DataGraph
+from repro.morph.profiles import profile_for
+
+
+@dataclass
+class MorphRunResult:
+    """Results plus the bookkeeping the evaluation figures report."""
+
+    results: dict[Pattern, Any]
+    stats: EngineStats
+    morphing_enabled: bool
+    measured: frozenset[Item] = field(default_factory=frozenset)
+    selection: SelectionResult | None = None
+    transform_seconds: float = 0.0
+    match_seconds: float = 0.0
+    convert_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end time: transformation + matching + conversion."""
+        return self.transform_seconds + self.match_seconds + self.convert_seconds
+
+
+class MorphingSession:
+    """Subgraph Morphing around an unmodified matching engine."""
+
+    def __init__(
+        self,
+        engine: MiningEngine,
+        aggregation: Aggregation | None = None,
+        enabled: bool = True,
+        margin: float = 0.6,
+        cache: "MeasurementCache | None" = None,
+    ) -> None:
+        """``margin`` is forwarded to Algorithm 1: a morph must be
+        predicted to cost under ``margin`` times what it saves. ``margin
+        >= 1`` accepts any predicted win; large values force morphing
+        (useful to reproduce the paper's blind-morphing comparison,
+        §7.5). ``cache`` optionally memoizes measured alternative values
+        across runs on the same graph (FSM levels share superpatterns)."""
+        self.engine = engine
+        self.aggregation = aggregation or CountAggregation()
+        self.enabled = enabled
+        self.margin = margin
+        self.cache = cache
+
+    # -- batched mode --------------------------------------------------------
+
+    def run(self, graph: DataGraph, patterns: Sequence[Pattern]) -> MorphRunResult:
+        """Mine all query patterns, morphing when enabled."""
+        patterns = list(patterns)
+        self.engine.reset_stats()
+        if not self.enabled:
+            return self._run_baseline(graph, patterns)
+
+        transform_start = time.perf_counter()
+        cost_model = CostModel.for_graph(
+            graph, profile_for(self.engine), self.aggregation
+        )
+        selection = select_alternative_patterns(
+            patterns, cost_model, self.aggregation, margin=self.margin
+        )
+        transform_seconds = time.perf_counter() - transform_start
+
+        if not any(selection.morphed.values()):
+            # The cost model declined every morph: run the queries as
+            # given (their own numbering and plans), keeping the selection
+            # metadata so callers can see the decision.
+            baseline = self._run_baseline(graph, patterns)
+            return MorphRunResult(
+                results=baseline.results,
+                stats=baseline.stats,
+                morphing_enabled=True,
+                measured=selection.measured,
+                selection=selection,
+                transform_seconds=transform_seconds,
+                match_seconds=baseline.match_seconds,
+            )
+
+        match_start = time.perf_counter()
+        store: dict[Item, Any] = {}
+        count_mode = isinstance(self.aggregation, CountAggregation)
+        measured_items = sorted(selection.measured, key=repr)
+
+        if self.cache is not None:
+            cached = {
+                item: self.cache.get(graph, self.aggregation, item)
+                for item in measured_items
+            }
+            store.update({k: v for k, v in cached.items() if v is not None})
+            measured_items = [i for i in measured_items if store.get(i) is None]
+
+        if count_mode:
+            concrete = {item: materialize(item) for item in measured_items}
+            counts = self.engine.count_set(graph, list(concrete.values()))
+            for item, pattern in concrete.items():
+                store[item] = counts[pattern]
+        else:
+            for item in measured_items:
+                store[item] = self.engine.aggregate(
+                    graph, materialize(item), self.aggregation
+                )
+        if self.cache is not None:
+            for item in measured_items:
+                self.cache.put(graph, self.aggregation, item, store[item])
+        match_seconds = time.perf_counter() - match_start
+
+        convert_start = time.perf_counter()
+        if count_mode:
+            results: dict[Pattern, Any] = convert_counts(patterns, store)
+        else:
+            results = convert_aggregation_store(patterns, store, self.aggregation)
+        convert_seconds = time.perf_counter() - convert_start
+
+        return MorphRunResult(
+            results=results,
+            stats=self.engine.stats,
+            morphing_enabled=True,
+            measured=selection.measured,
+            selection=selection,
+            transform_seconds=transform_seconds,
+            match_seconds=match_seconds,
+            convert_seconds=convert_seconds,
+        )
+
+    def _run_baseline(
+        self, graph: DataGraph, patterns: list[Pattern]
+    ) -> MorphRunResult:
+        start = time.perf_counter()
+        count_mode = isinstance(self.aggregation, CountAggregation)
+        if count_mode:
+            results: dict[Pattern, Any] = dict(
+                self.engine.count_set(graph, patterns)
+            )
+        else:
+            results = {
+                p: self.engine.aggregate(graph, p, self.aggregation)
+                for p in patterns
+            }
+        return MorphRunResult(
+            results=results,
+            stats=self.engine.stats,
+            morphing_enabled=False,
+            measured=frozenset(item_of(p) for p in patterns),
+            match_seconds=time.perf_counter() - start,
+        )
+
+    # -- streaming mode --------------------------------------------------------
+
+    def run_streaming(
+        self,
+        graph: DataGraph,
+        patterns: Sequence[Pattern],
+        process: Callable[[Pattern, Match], None],
+        vertex_filter: Callable[[Match], bool] | None = None,
+    ) -> MorphRunResult:
+        """Stream matches for every query through ``process``.
+
+        ``vertex_filter`` receives the matched data vertices (in arbitrary
+        role order) and may reject the subgraph before conversion fan-out;
+        the §7.3 weight filter has exactly this form.
+        """
+        patterns = list(patterns)
+        self.engine.reset_stats()
+        emitted: dict[Pattern, int] = {p: 0 for p in patterns}
+
+        def counted_process(query: Pattern, match: Match) -> None:
+            emitted[query] += 1
+            process(query, match)
+
+        if not self.enabled:
+            start = time.perf_counter()
+            for p in patterns:
+                if vertex_filter is None:
+                    self.engine.explore(graph, p, counted_process)
+                else:
+                    self.engine.explore(
+                        graph, p, _filtered(vertex_filter, counted_process)
+                    )
+            return MorphRunResult(
+                results=dict(emitted),
+                stats=self.engine.stats,
+                morphing_enabled=False,
+                measured=frozenset(item_of(p) for p in patterns),
+                match_seconds=time.perf_counter() - start,
+            )
+
+        transform_start = time.perf_counter()
+        from repro.core.aggregation import MatchListAggregation
+        from repro.core.costmodel import profile_udf_cost
+
+        stream_agg = MatchListAggregation()
+        if vertex_filter is not None and patterns:
+            # Section 5.2's UDF profiling: time the filter on dummy
+            # matches so its real cost steers the alternative selection
+            # (an expensive filter makes fewer-match alternatives pay).
+            stream_agg.per_match_cost += profile_udf_cost(
+                vertex_filter, patterns[0], graph
+            )
+        cost_model = CostModel.for_graph(graph, profile_for(self.engine), stream_agg)
+        selection = select_alternative_patterns(
+            patterns, cost_model, stream_agg, margin=self.margin
+        )
+
+        if not any(selection.morphed.values()):
+            transform_seconds = time.perf_counter() - transform_start
+            start = time.perf_counter()
+            for p in patterns:
+                callback = (
+                    counted_process
+                    if vertex_filter is None
+                    else _filtered(vertex_filter, counted_process)
+                )
+                self.engine.explore(graph, p, callback)
+            return MorphRunResult(
+                results=dict(emitted),
+                stats=self.engine.stats,
+                morphing_enabled=True,
+                measured=selection.measured,
+                selection=selection,
+                transform_seconds=transform_seconds,
+                match_seconds=time.perf_counter() - start,
+            )
+
+        # One converter per (measured item, query) pair.
+        converters: dict[Item, list[OnTheFlyConverter]] = {
+            item: [] for item in selection.measured
+        }
+        for query in patterns:
+            plan = on_the_fly_plan(query, selection.measured, counted_process)
+            for item, converter in plan.items():
+                converters[item].append(converter)
+        transform_seconds = time.perf_counter() - transform_start
+
+        match_start = time.perf_counter()
+        for item in sorted(selection.measured, key=repr):
+            fan_out = converters[item]
+            if not fan_out:
+                continue
+
+            def on_match(alt_pattern: Pattern, match: Match, _fan=fan_out) -> None:
+                if vertex_filter is not None and not vertex_filter(match):
+                    return
+                for converter in _fan:
+                    converter(match)
+
+            self.engine.explore(graph, materialize(item), on_match)
+        match_seconds = time.perf_counter() - match_start
+
+        return MorphRunResult(
+            results=dict(emitted),
+            stats=self.engine.stats,
+            morphing_enabled=True,
+            measured=selection.measured,
+            selection=selection,
+            transform_seconds=transform_seconds,
+            match_seconds=match_seconds,
+        )
+
+
+def _filtered(
+    vertex_filter: Callable[[Match], bool],
+    process: Callable[[Pattern, Match], None],
+) -> Callable[[Pattern, Match], None]:
+    def wrapped(pattern: Pattern, match: Match) -> None:
+        if vertex_filter(match):
+            process(pattern, match)
+
+    return wrapped
+
+
+def compare_baseline_and_morphed(
+    engine_factory: Callable[[], MiningEngine],
+    graph: DataGraph,
+    patterns: Iterable[Pattern],
+    aggregation: Aggregation | None = None,
+) -> tuple[MorphRunResult, MorphRunResult]:
+    """Run the same workload twice (baseline, morphed) on fresh engines.
+
+    The benchmark harness's workhorse: returns both results so callers can
+    assert equality (claim C1) and compare timings/counters.
+    """
+    patterns = list(patterns)
+    baseline = MorphingSession(
+        engine_factory(), aggregation=aggregation, enabled=False
+    ).run(graph, patterns)
+    morphed = MorphingSession(
+        engine_factory(), aggregation=aggregation, enabled=True
+    ).run(graph, patterns)
+    return baseline, morphed

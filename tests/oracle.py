@@ -1,0 +1,103 @@
+"""Independent brute-force reference implementations for testing.
+
+Everything here is deliberately written with a different strategy from
+the library under test: matches are found by enumerating vertex
+combinations and checking all permutations directly (no plans, no set
+operations, no symmetry breaking), so agreement with the engines is
+meaningful evidence of correctness. Only usable on small graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+from repro.core.pattern import Pattern, normalize_edge
+from repro.graph.datagraph import DataGraph
+
+
+def brute_force_matches(
+    graph: DataGraph, pattern: Pattern
+) -> set[tuple[tuple[int, int], ...]]:
+    """All unique matches as canonical occurrence keys.
+
+    An occurrence is identified by its sorted image edge list plus the
+    (sorted) vertex set; automorphic re-assignments collapse to the same
+    key. Respects labels and anti-edges.
+    """
+    occurrences: set[tuple[tuple[int, int], ...]] = set()
+    for combo in combinations(range(graph.num_vertices), pattern.n):
+        for perm in permutations(combo):
+            # perm[u] is the data vertex assigned to pattern vertex u.
+            if _is_match(graph, pattern, perm):
+                key = tuple(
+                    sorted(
+                        normalize_edge(perm[u], perm[v]) for u, v in pattern.edges
+                    )
+                )
+                occurrences.add((("verts",) + tuple(sorted(perm)), key))  # type: ignore[arg-type]
+    return occurrences
+
+
+def _is_match(graph: DataGraph, pattern: Pattern, assignment) -> bool:
+    for v in range(pattern.n):
+        want = pattern.label(v)
+        if want is not None and graph.is_labeled and graph.label(assignment[v]) != want:
+            return False
+    for u, v in pattern.edges:
+        if not graph.has_edge(assignment[u], assignment[v]):
+            return False
+    for u, v in pattern.anti_edges:
+        if graph.has_edge(assignment[u], assignment[v]):
+            return False
+    return True
+
+
+def brute_force_count(graph: DataGraph, pattern: Pattern) -> int:
+    """Number of unique matches (occurrences, not embeddings)."""
+    return len(brute_force_matches(graph, pattern))
+
+
+def brute_force_match_tuples(
+    graph: DataGraph, pattern: Pattern
+) -> list[tuple[int, ...]]:
+    """One representative assignment tuple per occurrence."""
+    seen: set = set()
+    out: list[tuple[int, ...]] = []
+    for combo in combinations(range(graph.num_vertices), pattern.n):
+        for perm in permutations(combo):
+            if _is_match(graph, pattern, perm):
+                key = (
+                    tuple(sorted(perm)),
+                    tuple(
+                        sorted(
+                            normalize_edge(perm[u], perm[v])
+                            for u, v in pattern.edges
+                        )
+                    ),
+                )
+                if key not in seen:
+                    seen.add(key)
+                    out.append(tuple(perm))
+    return out
+
+
+def brute_force_mni(
+    graph: DataGraph, pattern: Pattern
+) -> tuple[frozenset[int], ...]:
+    """MNI table (one vertex set per pattern vertex) over all embeddings."""
+    columns: list[set[int]] = [set() for _ in range(pattern.n)]
+    for combo in combinations(range(graph.num_vertices), pattern.n):
+        for perm in permutations(combo):
+            if _is_match(graph, pattern, perm):
+                for u in range(pattern.n):
+                    columns[u].add(perm[u])
+    if all(not c for c in columns):
+        return ()  # the MNI zero: no matches, no table
+    return tuple(frozenset(c) for c in columns)
+
+
+def brute_force_mni_support(graph: DataGraph, pattern: Pattern) -> int:
+    table = brute_force_mni(graph, pattern)
+    if not table or any(len(c) == 0 for c in table):
+        return 0
+    return min(len(c) for c in table)

@@ -1,0 +1,65 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from hypothesis import strategies as st
+
+from repro.core.pattern import Pattern
+from repro.graph.datagraph import DataGraph
+
+
+@st.composite
+def patterns(
+    draw,
+    min_n: int = 2,
+    max_n: int = 5,
+    connected: bool = False,
+    labeled: bool = False,
+    max_labels: int = 3,
+):
+    """Random patterns: a subset of edges plus a subset of the rest as
+    anti-edges; optionally restricted to connected regular-edge graphs."""
+    n = draw(st.integers(min_n, max_n))
+    pairs = list(combinations(range(n), 2))
+    edge_mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    edges = [e for e, keep in zip(pairs, edge_mask) if keep]
+    if connected:
+        # Add a random spanning path to force connectivity.
+        order = draw(st.permutations(list(range(n))))
+        edges.extend((order[i], order[i + 1]) for i in range(n - 1))
+    edge_set = {tuple(sorted(e)) for e in edges}
+    rest = [e for e in pairs if e not in edge_set]
+    anti_mask = draw(st.lists(st.booleans(), min_size=len(rest), max_size=len(rest)))
+    anti = [e for e, keep in zip(rest, anti_mask) if keep]
+    labels = None
+    if labeled:
+        labels = draw(
+            st.lists(st.integers(0, max_labels - 1), min_size=n, max_size=n)
+        )
+    return Pattern(n, edge_set, anti, labels=labels)
+
+
+@st.composite
+def connected_skeletons(draw, min_n: int = 2, max_n: int = 5, labeled: bool = False):
+    """Connected, edge-induced patterns (morphing query material)."""
+    p = draw(patterns(min_n=min_n, max_n=max_n, connected=True, labeled=labeled))
+    return p.edge_induced()
+
+
+def permutations_of(n: int):
+    return st.permutations(list(range(n)))
+
+
+@st.composite
+def data_graphs(draw, min_n: int = 4, max_n: int = 14, labeled: bool = False):
+    """Small random data graphs sized for the brute-force oracle."""
+    n = draw(st.integers(min_n, max_n))
+    pairs = list(combinations(range(n), 2))
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    edges = [e for e, keep in zip(pairs, mask) if keep]
+    labels = None
+    if labeled:
+        labels = draw(st.lists(st.integers(0, 2), min_size=n, max_size=n))
+    return DataGraph(n, edges, labels=labels, name="hypo")

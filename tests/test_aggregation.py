@@ -1,0 +1,150 @@
+"""Tests for the aggregation abstraction (λ, ⊕) and its laws."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import atlas
+from repro.core.aggregation import (
+    CountAggregation,
+    ExistenceAggregation,
+    MatchListAggregation,
+    MNIAggregation,
+)
+from repro.core.pattern import Pattern
+
+
+class TestCount:
+    def test_laws(self):
+        agg = CountAggregation()
+        assert agg.zero() == 0
+        assert agg.combine(3, 4) == 7
+        assert agg.scale(5, 3) == 15
+        assert agg.scale(5, -2) == -10  # invertible
+        assert agg.from_match(atlas.TRIANGLE, (1, 2, 3)) == 1
+        assert agg.permute(9, (2, 0, 1)) == 9
+        assert agg.invertible
+        assert agg.per_match_cost == 0.0
+
+
+class TestMNI:
+    def test_from_match_and_combine(self):
+        agg = MNIAggregation()
+        a = agg.from_match(atlas.TRIANGLE, (5, 6, 7))
+        b = agg.from_match(atlas.TRIANGLE, (5, 8, 9))
+        joined = agg.combine(a, b)
+        assert joined == (
+            frozenset({5}),
+            frozenset({6, 8}),
+            frozenset({7, 9}),
+        )
+
+    def test_zero_is_identity(self):
+        agg = MNIAggregation()
+        v = agg.from_match(atlas.TRIANGLE, (1, 2, 3))
+        assert agg.combine(agg.zero(), v) == v
+        assert agg.combine(v, agg.zero()) == v
+
+    def test_width_mismatch_rejected(self):
+        agg = MNIAggregation()
+        with pytest.raises(ValueError):
+            agg.combine(
+                agg.from_match(atlas.TRIANGLE, (1, 2, 3)),
+                agg.from_match(atlas.FOUR_CLIQUE, (1, 2, 3, 4)),
+            )
+
+    def test_permute_reindexes_columns(self):
+        agg = MNIAggregation()
+        value = (frozenset({1}), frozenset({2}), frozenset({3}))
+        assert agg.permute(value, (2, 0, 1)) == (
+            frozenset({3}),
+            frozenset({1}),
+            frozenset({2}),
+        )
+
+    def test_support(self):
+        assert MNIAggregation.support(()) == 0
+        assert (
+            MNIAggregation.support((frozenset({1, 2}), frozenset({3}))) == 1
+        )
+
+    def test_finalize_closes_under_automorphisms(self):
+        # Path 0-1-2 has the flip automorphism (0<->2).
+        agg = MNIAggregation()
+        path = Pattern.path(3)
+        value = (frozenset({10}), frozenset({11}), frozenset({12}))
+        closed = agg.finalize(path, value)
+        assert closed == (
+            frozenset({10, 12}),
+            frozenset({11}),
+            frozenset({10, 12}),
+        )
+        # Idempotent.
+        assert agg.finalize(path, closed) == closed
+
+    def test_finalize_noop_for_asymmetric(self):
+        agg = MNIAggregation()
+        tt = atlas.TAILED_TRIANGLE
+        labeled = tt.with_labels([0, 1, 2, 3])  # labels kill all symmetry
+        value = tuple(frozenset({i}) for i in range(4))
+        assert agg.finalize(labeled, value) == value
+
+    def test_not_invertible(self):
+        with pytest.raises(TypeError):
+            MNIAggregation().scale((frozenset({1}),), -1)
+
+
+class TestMatchList:
+    def test_collect_and_permute(self):
+        agg = MatchListAggregation()
+        v = agg.combine(
+            agg.from_match(atlas.TRIANGLE, (1, 2, 3)),
+            agg.from_match(atlas.TRIANGLE, (4, 5, 6)),
+        )
+        assert v == [(1, 2, 3), (4, 5, 6)]
+        assert agg.permute(v, (1, 2, 0)) == [(2, 3, 1), (5, 6, 4)]
+
+    def test_zero(self):
+        assert MatchListAggregation().zero() == []
+
+
+class TestExistence:
+    def test_or_semantics(self):
+        agg = ExistenceAggregation()
+        assert agg.zero() is False
+        assert agg.combine(False, True) is True
+        assert agg.from_match(atlas.TRIANGLE, (1, 2, 3)) is True
+        assert agg.permute(True, (0, 1, 2)) is True
+
+
+@given(st.lists(st.integers(0, 50), min_size=0, max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_count_combine_commutative_associative(values):
+    agg = CountAggregation()
+    total = agg.zero()
+    for v in values:
+        total = agg.combine(total, v)
+    rev = agg.zero()
+    for v in reversed(values):
+        rev = agg.combine(v, rev)
+    assert total == rev == sum(values)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(10, 19), st.integers(20, 29)),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_mni_combine_order_independent(matches):
+    agg = MNIAggregation()
+    fwd = agg.zero()
+    for m in matches:
+        fwd = agg.combine(fwd, agg.from_match(atlas.TRIANGLE, m))
+    back = agg.zero()
+    for m in reversed(matches):
+        back = agg.combine(agg.from_match(atlas.TRIANGLE, m), back)
+    assert fwd == back

@@ -1,0 +1,91 @@
+"""Tests for alternative-pattern-set enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import atlas
+from repro.core.aggregation import MNIAggregation
+from repro.core.alternatives import (
+    enumerate_alternative_sets,
+    query_options,
+    space_size,
+)
+from repro.core.equations import evaluate, item_of, materialize, solve_query
+from repro.core.sdag import VERTEX_INDUCED
+
+from .oracle import brute_force_count
+
+
+class TestQueryOptions:
+    def test_four_cycle_option_count(self):
+        """Closure {C4, C4C, 4CL}: 2 free nodes -> 4 assignments + direct,
+        minus the duplicate where the assignment equals the direct set."""
+        options = query_options(atlas.FOUR_CYCLE.vertex_induced())
+        assert len(options) == 5
+        assert frozenset({item_of(atlas.FOUR_CYCLE.vertex_induced())}) == options[0]
+
+    def test_clique_has_single_option(self):
+        options = query_options(atlas.FOUR_CLIQUE)
+        assert len(options) == 1  # its closure is itself
+
+    def test_options_all_distinct(self):
+        options = query_options(atlas.FOUR_PATH.vertex_induced())
+        assert len(options) == len(set(options))
+
+    def test_mni_options(self):
+        options = query_options(atlas.FOUR_STAR, MNIAggregation())
+        assert len(options) == 2  # direct, or the all-V closure
+        all_v = options[1]
+        assert all(
+            v == VERTEX_INDUCED or s.is_clique for s, v in all_v
+        )
+
+
+class TestEnumeration:
+    def test_first_is_query_set(self):
+        queries = [atlas.FOUR_CYCLE.vertex_induced()]
+        first = next(enumerate_alternative_sets(queries))
+        assert first == frozenset({item_of(queries[0])})
+
+    def test_all_sets_valid_counts(self, tiny_graph):
+        """Every enumerated set reconstructs the exact query count."""
+        query = atlas.FOUR_CYCLE.vertex_induced()
+        expected = brute_force_count(tiny_graph, query)
+        for measured in enumerate_alternative_sets([query]):
+            values = {
+                item: brute_force_count(tiny_graph, materialize(item))
+                for item in measured
+            }
+            expression = solve_query(item_of(query), measured)
+            assert evaluate(expression, values) == expected
+
+    def test_limit_respected(self):
+        queries = list(atlas.motif_patterns(4))
+        sets = list(enumerate_alternative_sets(queries, limit=10))
+        assert len(sets) == 10
+
+    def test_dedup_across_queries(self):
+        """Overlapping closures collapse: far fewer sets than the product."""
+        queries = [
+            atlas.FOUR_CYCLE.vertex_induced(),
+            atlas.TAILED_TRIANGLE.vertex_induced(),
+        ]
+        sets = list(enumerate_alternative_sets(queries, limit=10_000))
+        assert len(sets) < space_size(queries)
+        assert len(sets) == len(set(sets))
+
+    def test_paper_scale_space(self):
+        """The 4-motif space is comfortably larger than a handful —
+        the exponential growth Section 5 motivates."""
+        queries = list(atlas.motif_patterns(4))
+        assert space_size(queries) > 250
+
+    def test_mni_enumeration_legal(self, tiny_graph):
+        queries = [atlas.FOUR_STAR]
+        agg = MNIAggregation()
+        sets = list(enumerate_alternative_sets(queries, agg))
+        assert len(sets) == 2
+        for measured in sets[1:]:
+            for skel, variant in measured:
+                assert variant == VERTEX_INDUCED or skel.is_clique

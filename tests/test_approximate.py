@@ -1,0 +1,84 @@
+"""Tests for the approximate-counting extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.approximate import (
+    ApproximateCount,
+    approximate_count,
+    error_latency_profile,
+)
+from repro.core.atlas import FOUR_CYCLE, TRIANGLE
+from repro.engines.peregrine.engine import PeregrineEngine
+
+
+class TestEstimator:
+    def test_full_probability_is_exact(self, medium_graph):
+        exact = PeregrineEngine().count(medium_graph, TRIANGLE)
+        approx = approximate_count(medium_graph, TRIANGLE, sample_prob=1.0, trials=1)
+        assert approx.estimate == exact
+        assert approx.std_error == float("inf")  # one trial, no spread
+
+    def test_estimate_near_exact(self, medium_graph):
+        exact = PeregrineEngine().count(medium_graph, TRIANGLE)
+        approx = approximate_count(
+            medium_graph, TRIANGLE, sample_prob=0.7, trials=12, seed=3
+        )
+        assert abs(approx.estimate - exact) / exact < 0.5
+
+    def test_deterministic_given_seed(self, medium_graph):
+        a = approximate_count(medium_graph, TRIANGLE, 0.5, trials=3, seed=9)
+        b = approximate_count(medium_graph, TRIANGLE, 0.5, trials=3, seed=9)
+        assert a.estimate == b.estimate
+
+    def test_morphing_path_works(self, medium_graph):
+        approx = approximate_count(
+            medium_graph,
+            FOUR_CYCLE.vertex_induced(),
+            sample_prob=0.8,
+            trials=3,
+            morph=True,
+            seed=5,
+        )
+        assert approx.estimate >= 0.0
+
+    def test_tiny_samples_yield_zero(self, small_graph):
+        approx = approximate_count(
+            small_graph, TRIANGLE, sample_prob=0.01, trials=3, seed=1
+        )
+        assert approx.estimate == 0.0
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            approximate_count(small_graph, TRIANGLE, sample_prob=0.0)
+        with pytest.raises(ValueError):
+            approximate_count(small_graph, TRIANGLE, trials=0)
+
+    def test_confidence_interval_nonnegative(self):
+        approx = ApproximateCount(
+            estimate=10.0, std_error=20.0, trials=3, sample_prob=0.5
+        )
+        lo, hi = approx.confidence_interval()
+        assert lo == 0.0 and hi > 10.0
+
+
+class TestErrorLatencyProfile:
+    def test_profile_rows(self, medium_graph):
+        rows = error_latency_profile(
+            medium_graph, TRIANGLE, probabilities=[0.4, 0.8], trials=3, seed=2
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["exact"] > 0
+            assert row["seconds"] > 0
+            assert row["relative_error"] >= 0.0
+
+    def test_unbiasedness_over_many_trials(self, medium_graph):
+        """The mean over many sampled trials converges on the exact count."""
+        exact = PeregrineEngine().count(medium_graph, TRIANGLE)
+        approx = approximate_count(
+            medium_graph, TRIANGLE, sample_prob=0.6, trials=30, seed=7
+        )
+        # Within 3 standard errors (generous; the estimator is unbiased).
+        assert abs(approx.estimate - exact) <= max(3 * approx.std_error, 0.2 * exact)

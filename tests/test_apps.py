@@ -1,0 +1,109 @@
+"""Tests for the application layer: MC, SC, SE."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.enumeration import (
+    collect_matches,
+    enumerate_matches,
+    weight_window_filter,
+)
+from repro.apps.motif_counting import count_motifs, motif_census, total_motifs
+from repro.apps.subgraph_counting import count_one, count_subgraphs
+from repro.core import atlas
+from repro.engines.peregrine.engine import PeregrineEngine
+
+from .oracle import brute_force_count
+
+
+class TestMotifCounting:
+    def test_census_matches_oracle(self, small_graph):
+        result = count_motifs(small_graph, 4, morph=False)
+        for p, c in result.results.items():
+            assert c == brute_force_count(small_graph, p)
+
+    def test_morph_equals_baseline(self, small_graph):
+        morphed = count_motifs(small_graph, 4, morph=True)
+        baseline = count_motifs(small_graph, 4, morph=False)
+        assert morphed.results == baseline.results
+
+    def test_census_names(self, small_graph):
+        census = motif_census(small_graph, 3)
+        assert set(census) == {"triangle", "3P-V"}
+
+    def test_total(self, small_graph):
+        result = count_motifs(small_graph, 3)
+        assert total_motifs(result.results) == sum(result.results.values())
+
+    def test_triangle_count_identity(self, small_graph):
+        """#triangles + #induced paths = #connected 3-subgraphs."""
+        census = motif_census(small_graph, 3)
+        assert census["triangle"] == brute_force_count(small_graph, atlas.TRIANGLE)
+
+
+class TestSubgraphCounting:
+    def test_count_one(self, small_graph):
+        c = count_one(small_graph, atlas.FOUR_CYCLE.vertex_induced())
+        assert c == brute_force_count(small_graph, atlas.FOUR_CYCLE.vertex_induced())
+
+    def test_multi_pattern(self, small_graph):
+        patterns = [atlas.P1.vertex_induced(), atlas.FOUR_CLIQUE]
+        result = count_subgraphs(small_graph, patterns, morph=True)
+        for p in patterns:
+            assert result.results[p] == brute_force_count(small_graph, p)
+
+    def test_engine_override(self, small_graph):
+        from repro.engines.bigjoin.engine import BigJoinEngine
+
+        c = count_one(small_graph, atlas.TRIANGLE, engine=BigJoinEngine())
+        assert c == brute_force_count(small_graph, atlas.TRIANGLE)
+
+
+class TestEnumeration:
+    def test_collect_matches(self, tiny_graph):
+        found = collect_matches(tiny_graph, atlas.TRIANGLE)
+        assert frozenset({0, 1, 2}) in found
+        assert len(found) == brute_force_count(tiny_graph, atlas.TRIANGLE)
+
+    def test_morphed_enumeration_equal(self, small_graph):
+        assert collect_matches(small_graph, atlas.FOUR_CYCLE, morph=True) == (
+            collect_matches(small_graph, atlas.FOUR_CYCLE, morph=False)
+        )
+
+    def test_filtered_enumeration(self, small_graph, vertex_weights):
+        accept = weight_window_filter(vertex_weights, num_std=1.0)
+        kept: list = []
+        result = enumerate_matches(
+            small_graph,
+            [atlas.FOUR_CYCLE],
+            lambda p, m: kept.append(m),
+            vertex_filter=accept,
+            morph=False,
+        )
+        assert result.results[atlas.FOUR_CYCLE] == len(kept)
+        assert all(accept(m) for m in kept)
+        # The 1-sigma window keeps some but usually not all matches.
+        total = brute_force_count(small_graph, atlas.FOUR_CYCLE)
+        assert 0 < len(kept) <= total
+
+    def test_filter_window_widens(self, small_graph, vertex_weights):
+        narrow = weight_window_filter(vertex_weights, num_std=0.2)
+        wide = weight_window_filter(vertex_weights, num_std=3.0)
+
+        def run(f):
+            out = []
+            enumerate_matches(
+                small_graph, [atlas.TRIANGLE], lambda p, m: out.append(m),
+                vertex_filter=f, morph=False,
+            )
+            return len(out)
+
+        assert run(narrow) <= run(wide)
+
+    def test_stats_exposed(self, small_graph):
+        engine = PeregrineEngine()
+        result = enumerate_matches(
+            small_graph, [atlas.TRIANGLE], lambda p, m: None, engine=engine
+        )
+        assert result.stats.udf_calls > 0

@@ -1,0 +1,116 @@
+"""Tests for the benchmark harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ComparisonRow,
+    FigureReport,
+    breakdown_row,
+    compare_workload,
+    timed,
+)
+from repro.core.atlas import TRIANGLE, motif_patterns
+from repro.engines.base import EngineStats
+from repro.engines.peregrine.engine import PeregrineEngine
+
+
+class TestCompareWorkload:
+    def test_basic_comparison(self, small_graph):
+        row = compare_workload(
+            PeregrineEngine, small_graph, list(motif_patterns(3)), workload="3-MC"
+        )
+        assert row.results_equal
+        assert row.workload == "3-MC"
+        assert row.graph == small_graph.name
+        assert row.baseline_seconds > 0 and row.morphed_seconds > 0
+        assert row.speedup == pytest.approx(
+            row.baseline_seconds / row.morphed_seconds
+        )
+
+    def test_csv_shape(self, small_graph):
+        row = compare_workload(
+            PeregrineEngine, small_graph, [TRIANGLE], workload="tri"
+        )
+        fields = row.csv().split(",")
+        assert fields[0] == "tri"
+        assert len(fields) == 5
+
+
+class TestFigureReport:
+    def _dummy_row(self, speedup: float) -> ComparisonRow:
+        return ComparisonRow(
+            workload="w",
+            graph="g",
+            baseline_seconds=speedup,
+            morphed_seconds=1.0,
+            baseline_stats=EngineStats(),
+            morphed_stats=EngineStats(),
+            results_equal=True,
+            morphed_patterns=1,
+        )
+
+    def test_geomean(self):
+        report = FigureReport("F", "desc")
+        report.add(self._dummy_row(2.0))
+        report.add(self._dummy_row(8.0))
+        assert report.geometric_mean_speedup == pytest.approx(4.0)
+        assert report.max_speedup == pytest.approx(8.0)
+
+    def test_render_contains_rows(self):
+        report = FigureReport("Figure X", "demo")
+        report.add(self._dummy_row(3.0))
+        text = report.render()
+        assert "Figure X" in text
+        assert "w,g" in text
+
+    def test_extra_columns(self):
+        report = FigureReport("F", "d")
+        report.extra_columns["const"] = lambda r: 7
+        report.add(self._dummy_row(1.0))
+        assert report.render().splitlines()[-1].endswith(",7")
+
+    def test_empty_report(self):
+        report = FigureReport("F", "d")
+        assert report.geometric_mean_speedup == 1.0
+        assert report.max_speedup == 1.0
+
+
+class TestHelpers:
+    def test_timed(self):
+        value, seconds = timed(lambda: 42)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_breakdown_row_percentages(self, small_graph):
+        engine = PeregrineEngine()
+        engine.count(small_graph, TRIANGLE)
+        row = breakdown_row("x", engine.stats)
+        assert row["label"] == "x"
+        total_pct = row["setops"] + row["udf"] + row["filter"] + row["other"]
+        assert total_pct == pytest.approx(100.0, abs=1.0)
+
+    def test_breakdown_row_zero_total(self):
+        row = breakdown_row("empty", EngineStats())
+        assert row["total"] == 0.0
+
+
+class TestReductionMetrics:
+    def test_branch_reduction_infinite_like(self):
+        baseline = EngineStats()
+        baseline.predictor.branches = 100
+        baseline.predictor.misses = 50
+        row = ComparisonRow(
+            workload="w", graph="g",
+            baseline_seconds=1.0, morphed_seconds=1.0,
+            baseline_stats=baseline, morphed_stats=EngineStats(),
+            results_equal=True, morphed_patterns=1,
+        )
+        assert row.branch_reduction == 50.0
+
+    def test_setop_reduction(self, small_graph):
+        row = compare_workload(
+            PeregrineEngine, small_graph, list(motif_patterns(4)), workload="4-MC"
+        )
+        assert row.setop_reduction > 1.0

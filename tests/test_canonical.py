@@ -1,0 +1,101 @@
+"""Tests for canonical labeling and pattern IDs (the Bliss substitute)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import atlas
+from repro.core.canonical import (
+    are_isomorphic,
+    canonical_form,
+    canonical_permutation,
+    pattern_id,
+)
+from repro.core.pattern import Pattern
+
+from .strategies import patterns, permutations_of
+
+
+class TestCanonicalForm:
+    def test_fixed_point(self):
+        for p in atlas.all_connected_patterns(4):
+            assert canonical_form(canonical_form(p)) == canonical_form(p)
+
+    @given(patterns(max_n=5), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_relabel_invariance(self, p: Pattern, data):
+        perm = data.draw(permutations_of(p.n))
+        assert canonical_form(p) == canonical_form(p.relabel(perm))
+
+    @given(patterns(max_n=5, labeled=True), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_relabel_invariance_labeled(self, p: Pattern, data):
+        perm = data.draw(permutations_of(p.n))
+        assert canonical_form(p) == canonical_form(p.relabel(perm))
+
+    @given(patterns(max_n=5))
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_is_isomorphic_to_original(self, p: Pattern):
+        canon = canonical_form(p)
+        assert canon.n == p.n
+        assert canon.num_edges == p.num_edges
+        assert len(canon.anti_edges) == len(p.anti_edges)
+        perm = canonical_permutation(p)
+        assert p.relabel(perm) == canon
+
+
+class TestPatternIds:
+    def test_ids_distinguish_motifs(self):
+        ids = {pattern_id(p) for p in atlas.all_connected_patterns(6)}
+        assert len(ids) == 112  # all 6-vertex topologies get distinct IDs
+
+    def test_ids_distinguish_variants(self):
+        c4 = Pattern.cycle(4)
+        assert pattern_id(c4) != pattern_id(c4.vertex_induced())
+
+    def test_ids_distinguish_labelings(self):
+        a = Pattern(2, [(0, 1)], labels=[0, 1])
+        b = Pattern(2, [(0, 1)], labels=[0, 0])
+        assert pattern_id(a) != pattern_id(b)
+
+    def test_label_permutation_same_id(self):
+        a = Pattern(2, [(0, 1)], labels=[0, 1])
+        b = Pattern(2, [(0, 1)], labels=[1, 0])
+        assert pattern_id(a) == pattern_id(b)
+
+    def test_id_is_64_bit(self):
+        assert 0 <= pattern_id(Pattern.clique(5)) < 2**64
+
+    @given(patterns(max_n=5), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_id_relabel_invariant(self, p: Pattern, data):
+        perm = data.draw(permutations_of(p.n))
+        assert pattern_id(p) == pattern_id(p.relabel(perm))
+
+
+class TestIsomorphismCheck:
+    def test_positive(self):
+        a = Pattern(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        b = Pattern(4, [(0, 2), (2, 1), (1, 3), (0, 3)])
+        assert are_isomorphic(a, b)
+
+    def test_negative_structure(self):
+        assert not are_isomorphic(Pattern.path(4), Pattern.star(4))
+
+    def test_negative_size(self):
+        assert not are_isomorphic(Pattern.clique(3), Pattern.clique(4))
+
+    def test_anti_edges_matter(self):
+        c4 = Pattern.cycle(4)
+        assert not are_isomorphic(c4, c4.vertex_induced())
+
+    def test_labels_matter(self):
+        a = Pattern(2, [(0, 1)], labels=[0, 0])
+        b = Pattern(2, [(0, 1)], labels=[0, 1])
+        assert not are_isomorphic(a, b)
+
+    def test_regular_vertex_transitive_case(self):
+        # Cycles are the canonicalizer's worst case (one big color class).
+        c8a = Pattern.cycle(8)
+        c8b = c8a.relabel([3, 6, 1, 4, 7, 2, 5, 0])
+        assert are_isomorphic(c8a, c8b)

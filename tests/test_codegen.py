@@ -1,0 +1,125 @@
+"""Tests for AutoMine-style plan compilation (codegen)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import atlas
+from repro.core.pattern import Pattern
+from repro.engines.autozero.codegen import compile_plan, compiled_source, run_compiled
+from repro.engines.base import EngineStats, run_plan
+from repro.engines.plan import ExplorationPlan
+
+from .oracle import brute_force_count
+from .strategies import connected_skeletons, data_graphs
+
+
+class TestCompiledSource:
+    def test_source_is_valid_python(self):
+        for p in atlas.motif_patterns(4):
+            source = compiled_source(ExplorationPlan.build(p))
+            compile(source, "<test>", "exec")  # must not raise
+
+    def test_source_unrolls_levels(self):
+        source = compiled_source(ExplorationPlan.build(atlas.FOUR_CLIQUE))
+        assert "for v0 in" in source
+        assert "for v2 in" in source
+        assert "count += len(cand3)" in source  # counting fast path
+
+    def test_anti_edges_become_differences(self):
+        source = compiled_source(
+            ExplorationPlan.build(atlas.FOUR_CYCLE.vertex_induced())
+        )
+        assert "difference(" in source
+
+    def test_labels_inlined(self):
+        p = Pattern.path(3, labels=[2, 5, 2])
+        source = compiled_source(ExplorationPlan.build(p))
+        # Matching starts at the path's center (label 5); the endpoints'
+        # label-2 filters are inlined as literal comparisons.
+        assert "graph.vertices_by_label.get(5" in source
+        assert "== 2" in source
+
+
+class TestCompiledKernelCorrectness:
+    @pytest.mark.parametrize("pattern", list(atlas.motif_patterns(4)))
+    def test_matches_interpreter_motifs(self, pattern, small_graph):
+        plan = ExplorationPlan.build(pattern)
+        interp_stats, comp_stats = EngineStats(), EngineStats()
+        interpreted = run_plan(small_graph, plan, interp_stats)
+        compiled = run_compiled(small_graph, plan, comp_stats)
+        assert compiled == interpreted == brute_force_count(small_graph, pattern)
+        # Identical set-operation accounting, not just identical counts.
+        assert comp_stats.setops.intersections == interp_stats.setops.intersections
+        assert comp_stats.setops.differences == interp_stats.setops.differences
+
+    @given(data_graphs(min_n=6, max_n=12), connected_skeletons(max_n=4))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_interpreter_random(self, graph, skel):
+        for pattern in (skel, skel.vertex_induced()):
+            plan = ExplorationPlan.build(pattern)
+            assert run_compiled(graph, plan, EngineStats()) == run_plan(
+                graph, plan, EngineStats()
+            )
+
+    def test_callback_mode(self, small_graph):
+        plan = ExplorationPlan.build(atlas.TAILED_TRIANGLE)
+        interpreted, compiled = [], []
+        run_plan(small_graph, plan, EngineStats(), interpreted.append)
+        run_compiled(small_graph, plan, EngineStats(), compiled.append)
+        assert sorted(interpreted) == sorted(compiled)
+
+    def test_labeled_pattern(self, small_labeled_graph):
+        p = Pattern(3, [(0, 1), (1, 2)], labels=[0, 1, 0])
+        plan = ExplorationPlan.build(p)
+        assert run_compiled(
+            small_labeled_graph, plan, EngineStats()
+        ) == brute_force_count(small_labeled_graph, p)
+
+    def test_single_vertex_plan(self, small_labeled_graph):
+        p = Pattern(1, [], labels=[0])
+        plan = ExplorationPlan.build(p)
+        expected = len(small_labeled_graph.vertices_by_label[0])
+        assert run_compiled(small_labeled_graph, plan, EngineStats()) == expected
+
+    def test_early_termination(self, small_graph):
+        from repro.engines.base import StopExploration
+
+        plan = ExplorationPlan.build(atlas.TRIANGLE)
+        seen = []
+
+        def stop_after_one(match):
+            seen.append(match)
+            raise StopExploration()
+
+        run_compiled(small_graph, plan, EngineStats(), stop_after_one)
+        assert len(seen) == 1
+
+
+class TestKernelCache:
+    def test_same_shape_shares_kernel(self):
+        a = compile_plan(ExplorationPlan.build(atlas.FOUR_CYCLE))
+        b = compile_plan(ExplorationPlan.build(atlas.FOUR_CYCLE))
+        assert a is b
+
+    def test_different_shapes_differ(self):
+        a = compile_plan(ExplorationPlan.build(atlas.FOUR_CYCLE))
+        b = compile_plan(ExplorationPlan.build(atlas.FOUR_CLIQUE))
+        assert a is not b
+
+    def test_variant_changes_kernel(self):
+        a = compile_plan(ExplorationPlan.build(atlas.FOUR_CYCLE))
+        b = compile_plan(
+            ExplorationPlan.build(atlas.FOUR_CYCLE.vertex_induced())
+        )
+        assert a is not b
+
+
+class TestAutoZeroUsesCompiledKernels:
+    def test_engine_count_correct(self, small_graph):
+        from repro.engines.autozero.engine import AutoZeroEngine
+
+        engine = AutoZeroEngine()
+        for p in atlas.motif_patterns(4):
+            assert engine.count(small_graph, p) == brute_force_count(small_graph, p)

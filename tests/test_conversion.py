@@ -1,0 +1,214 @@
+"""Result transformation (Algorithms 2 & 3) against the oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import atlas
+from repro.core.aggregation import MatchListAggregation, MNIAggregation
+from repro.core.conversion import (
+    OnTheFlyConverter,
+    convert_aggregation_store,
+    convert_counts,
+    on_the_fly_plan,
+    query_embeddings,
+)
+from repro.core.equations import UnderivableError, item_of, materialize, normalize_item
+from repro.core.generation import skeleton, superpattern_closure
+from repro.core.pattern import Pattern
+from repro.core.sdag import EDGE_INDUCED, VERTEX_INDUCED
+from repro.engines.peregrine.engine import PeregrineEngine
+
+from .oracle import (
+    brute_force_count,
+    brute_force_match_tuples,
+    brute_force_mni,
+)
+from .strategies import connected_skeletons, data_graphs
+
+
+def _measure_counts(graph, query, variant):
+    store = {}
+    for sup in superpattern_closure(skeleton(query)):
+        item = normalize_item(sup, variant)
+        store[item] = brute_force_count(graph, materialize(item))
+    return store
+
+
+class TestConvertCounts:
+    @given(data_graphs(), connected_skeletons(max_n=4))
+    @settings(max_examples=25, deadline=None)
+    def test_from_vertex_closure(self, graph, p):
+        store = _measure_counts(graph, p, VERTEX_INDUCED)
+        out = convert_counts([p.edge_induced(), p.vertex_induced()], store)
+        assert out[p.edge_induced()] == brute_force_count(graph, p.edge_induced())
+        assert out[p.vertex_induced()] == brute_force_count(
+            graph, p.vertex_induced()
+        )
+
+    @given(data_graphs(), connected_skeletons(max_n=4))
+    @settings(max_examples=25, deadline=None)
+    def test_from_edge_closure(self, graph, p):
+        store = _measure_counts(graph, p, EDGE_INDUCED)
+        out = convert_counts([p.vertex_induced()], store)
+        assert out[p.vertex_induced()] == brute_force_count(
+            graph, p.vertex_induced()
+        )
+
+
+class TestConvertMNI:
+    """Algorithm 2 with the FSM aggregation (Figure 10's conversion)."""
+
+    @pytest.mark.parametrize(
+        "query", [atlas.FOUR_CYCLE, atlas.TAILED_TRIANGLE, atlas.FOUR_PATH, atlas.FOUR_STAR]
+    )
+    def test_matches_oracle(self, query, small_graph):
+        agg = MNIAggregation()
+        engine = PeregrineEngine()
+        store = {}
+        for sup in superpattern_closure(skeleton(query)):
+            item = normalize_item(sup, VERTEX_INDUCED)
+            store[item] = engine.aggregate(small_graph, materialize(item), agg)
+        out = convert_aggregation_store([query], store, agg)
+        assert out[query] == brute_force_mni(small_graph, query)
+
+    def test_labeled_query(self, small_labeled_graph):
+        query = Pattern(3, [(0, 1), (1, 2)], labels=[0, 0, 0])
+        agg = MNIAggregation()
+        engine = PeregrineEngine()
+        store = {}
+        for sup in superpattern_closure(skeleton(query)):
+            item = normalize_item(sup, VERTEX_INDUCED)
+            store[item] = engine.aggregate(small_labeled_graph, materialize(item), agg)
+        out = convert_aggregation_store([query], store, agg)
+        assert out[query] == brute_force_mni(small_labeled_graph, query)
+
+    def test_direct_measurement_permutes_back(self, small_graph):
+        """A query measured directly must come back in its own numbering."""
+        query = atlas.TAILED_TRIANGLE.relabel([3, 1, 0, 2])
+        agg = MNIAggregation()
+        engine = PeregrineEngine()
+        item = item_of(query)
+        store = {item: engine.aggregate(small_graph, materialize(item), agg)}
+        out = convert_aggregation_store([query], store, agg)
+        assert out[query] == brute_force_mni(small_graph, query)
+
+    def test_vertex_induced_query_needs_direct_measurement(self):
+        agg = MNIAggregation()
+        with pytest.raises(UnderivableError):
+            convert_aggregation_store(
+                [atlas.FOUR_CYCLE.vertex_induced()],
+                {normalize_item(atlas.FOUR_CLIQUE, EDGE_INDUCED): ()},
+                agg,
+            )
+
+    def test_missing_alternative_raises(self):
+        agg = MNIAggregation()
+        with pytest.raises(UnderivableError):
+            convert_aggregation_store([atlas.FOUR_CYCLE], {}, agg)
+
+
+class TestOnTheFly:
+    """Algorithm 3: streams reconstructed from vertex-induced alternatives."""
+
+    def _oracle_occurrences(self, graph, pattern):
+        return {
+            frozenset(tuple(sorted((m[u], m[v]))) for u, v in pattern.edges)
+            for m in brute_force_match_tuples(graph, pattern)
+        }
+
+    @pytest.mark.parametrize(
+        "query", [atlas.FOUR_CYCLE, atlas.FOUR_PATH, atlas.TAILED_TRIANGLE]
+    )
+    def test_stream_covers_oracle(self, query, small_graph):
+        engine = PeregrineEngine()
+        seen = set()
+        emitted = [0]
+
+        def process(pattern, match):
+            emitted[0] += 1
+            seen.add(
+                frozenset(tuple(sorted((match[u], match[v]))) for u, v in pattern.edges)
+            )
+
+        measured = {
+            normalize_item(sup, VERTEX_INDUCED)
+            for sup in superpattern_closure(skeleton(query))
+        }
+        plan = on_the_fly_plan(query, measured, process)
+        for item, converter in plan.items():
+            engine.explore(
+                small_graph,
+                materialize(item),
+                lambda p, m, conv=converter: conv(m),
+            )
+        assert seen == self._oracle_occurrences(small_graph, query)
+        # Eq. 1 is a disjoint partition: every occurrence exactly once.
+        assert emitted[0] == len(seen)
+
+    def test_expansion_factor_is_coefficient(self):
+        conv = OnTheFlyConverter(atlas.FOUR_CYCLE, skeleton(atlas.FOUR_CLIQUE), lambda p, m: None)
+        assert conv.expansion_factor == 3
+
+    def test_vertex_induced_query_direct_only(self):
+        measured = {item_of(atlas.FOUR_CYCLE.vertex_induced())}
+        plan = on_the_fly_plan(
+            atlas.FOUR_CYCLE.vertex_induced(), measured, lambda p, m: None
+        )
+        assert len(plan) == 1
+
+    def test_vertex_induced_query_underivable_from_closure(self):
+        measured = {normalize_item(atlas.FOUR_CLIQUE, EDGE_INDUCED)}
+        with pytest.raises(UnderivableError):
+            on_the_fly_plan(
+                atlas.FOUR_CYCLE.vertex_induced(), measured, lambda p, m: None
+            )
+
+    def test_converted_matches_are_valid(self, small_graph):
+        """Every emitted match must map query edges onto graph edges."""
+        query = atlas.FOUR_CYCLE
+
+        def process(pattern, match):
+            for u, v in pattern.edges:
+                assert small_graph.has_edge(match[u], match[v])
+            assert len(set(match)) == pattern.n
+
+        engine = PeregrineEngine()
+        measured = {
+            normalize_item(sup, VERTEX_INDUCED)
+            for sup in superpattern_closure(skeleton(query))
+        }
+        for item, converter in on_the_fly_plan(query, measured, process).items():
+            engine.explore(
+                small_graph, materialize(item), lambda p, m, c=converter: c(m)
+            )
+
+
+class TestQueryEmbeddings:
+    def test_respects_original_numbering(self):
+        query = atlas.FOUR_CYCLE.relabel([2, 0, 3, 1])
+        maps = query_embeddings(query, skeleton(atlas.FOUR_CYCLE))
+        assert len(maps) == 1
+        g = maps[0]
+        skel = skeleton(atlas.FOUR_CYCLE)
+        for u, v in query.edges:
+            assert tuple(sorted((g[u], g[v]))) in skel.edges
+
+    def test_count_matches_occurrences(self):
+        maps = query_embeddings(atlas.FOUR_CYCLE, skeleton(atlas.FOUR_CLIQUE))
+        assert len(maps) == 3
+
+
+class TestMatchListConversion:
+    def test_store_conversion_counts(self, tiny_graph):
+        """MatchList through Algorithm 2 equals the direct enumeration."""
+        agg = MatchListAggregation()
+        engine = PeregrineEngine()
+        query = atlas.FOUR_CYCLE
+        store = {}
+        for sup in superpattern_closure(skeleton(query)):
+            item = normalize_item(sup, VERTEX_INDUCED)
+            store[item] = engine.aggregate(tiny_graph, materialize(item), agg)
+        out = convert_aggregation_store([query], store, agg)
+        assert len(out[query]) == brute_force_count(tiny_graph, query)

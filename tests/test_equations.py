@@ -1,0 +1,176 @@
+"""Tests for the morphing equations: Eq. 1's count identity and solves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import atlas
+from repro.core.equations import (
+    UnderivableError,
+    closure_coefficients,
+    evaluate,
+    item_of,
+    materialize,
+    morph_equation,
+    normalize_item,
+    solve_query,
+)
+from repro.core.generation import skeleton, superpattern_closure
+from repro.core.pattern import Pattern
+from repro.core.sdag import EDGE_INDUCED, VERTEX_INDUCED
+
+from .oracle import brute_force_count
+from .strategies import connected_skeletons, data_graphs
+
+
+class TestItems:
+    def test_item_of_edge_induced(self):
+        skel, variant = item_of(atlas.FOUR_CYCLE)
+        assert variant == EDGE_INDUCED
+        assert skel.is_edge_induced
+
+    def test_item_of_vertex_induced(self):
+        _skel, variant = item_of(atlas.FOUR_CYCLE.vertex_induced())
+        assert variant == VERTEX_INDUCED
+
+    def test_item_of_rejects_mixed(self):
+        mixed = Pattern(4, [(0, 1), (1, 2), (2, 3)], anti_edges=[(0, 2)])
+        with pytest.raises(ValueError, match="mixed"):
+            item_of(mixed)
+
+    def test_clique_normalizes_to_edge_induced(self):
+        assert normalize_item(Pattern.clique(4), VERTEX_INDUCED)[1] == EDGE_INDUCED
+
+    def test_materialize_roundtrip(self):
+        item = item_of(atlas.FOUR_CYCLE.vertex_induced())
+        assert materialize(item).is_vertex_induced
+        assert materialize(item).edges == skeleton(atlas.FOUR_CYCLE).edges
+
+
+class TestClosureCoefficients:
+    def test_figure7_sm_e1(self):
+        coeffs = {
+            atlas.pattern_name(q): c
+            for q, c in closure_coefficients(atlas.TAILED_TRIANGLE)
+        }
+        assert coeffs == {"TT": 1, "C4C": 4, "4CL": 12}
+
+    def test_figure7_sm_e2(self):
+        coeffs = {
+            atlas.pattern_name(q): c
+            for q, c in closure_coefficients(atlas.FOUR_CYCLE)
+        }
+        assert coeffs == {"C4": 1, "C4C": 1, "4CL": 3}
+
+    def test_clique_trivial(self):
+        coeffs = closure_coefficients(Pattern.clique(4))
+        assert len(coeffs) == 1 and coeffs[0][1] == 1
+
+
+class TestCountIdentity:
+    """Eq. 1 on real (small) data graphs, against the brute-force oracle."""
+
+    @given(data_graphs(), connected_skeletons(max_n=4))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_count_decomposes_over_vertex_counts(self, graph, p):
+        lhs = brute_force_count(graph, p.edge_induced())
+        rhs = sum(
+            coeff * brute_force_count(graph, q.vertex_induced())
+            for q, coeff in closure_coefficients(p)
+        )
+        assert lhs == rhs
+
+    def test_fixed_example(self, tiny_graph):
+        lhs = brute_force_count(tiny_graph, atlas.FOUR_CYCLE)
+        rhs = (
+            brute_force_count(tiny_graph, atlas.FOUR_CYCLE.vertex_induced())
+            + brute_force_count(tiny_graph, atlas.CHORDAL_FOUR_CYCLE.vertex_induced())
+            + 3 * brute_force_count(tiny_graph, atlas.FOUR_CLIQUE)
+        )
+        assert lhs == rhs
+
+
+class TestSolveQuery:
+    def _measure_all(self, graph, skel, variant):
+        """Brute-force counts for a full closure in one variant."""
+        measured = {}
+        for q in superpattern_closure(skeleton(skel)):
+            item = normalize_item(q, variant)
+            measured[item] = brute_force_count(graph, materialize(item))
+        return measured
+
+    @given(data_graphs(), connected_skeletons(max_n=4))
+    @settings(max_examples=30, deadline=None)
+    def test_edge_query_from_vertex_closure(self, graph, p):
+        measured = self._measure_all(graph, p, VERTEX_INDUCED)
+        expr = solve_query(item_of(p.edge_induced()), set(measured))
+        assert evaluate(expr, measured) == brute_force_count(graph, p.edge_induced())
+
+    @given(data_graphs(), connected_skeletons(max_n=4))
+    @settings(max_examples=30, deadline=None)
+    def test_vertex_query_from_edge_closure(self, graph, p):
+        measured = self._measure_all(graph, p, EDGE_INDUCED)
+        expr = solve_query(item_of(p.vertex_induced()), set(measured))
+        assert evaluate(expr, measured) == brute_force_count(
+            graph, p.vertex_induced()
+        )
+
+    def test_direct_measurement_short_circuit(self):
+        item = item_of(atlas.FOUR_CYCLE)
+        assert solve_query(item, {item}) == {item: 1}
+
+    def test_underivable_raises(self):
+        with pytest.raises(UnderivableError):
+            solve_query(item_of(atlas.FOUR_CYCLE), set())
+
+    def test_partially_underivable_raises(self):
+        # Only the clique measured: the lower closure nodes are unknown.
+        with pytest.raises(UnderivableError):
+            solve_query(
+                item_of(atlas.FOUR_CYCLE),
+                {normalize_item(Pattern.clique(4), EDGE_INDUCED)},
+            )
+
+    def test_appendix_a2_arithmetic(self):
+        """Appendix A.2: countV(4-cycle) from the all-E alternative set is
+        7 - 9 + 3*1 = 1 given the example's measured counts."""
+        measured = {
+            normalize_item(atlas.FOUR_CYCLE, EDGE_INDUCED): 7,
+            normalize_item(atlas.CHORDAL_FOUR_CYCLE, EDGE_INDUCED): 9,
+            normalize_item(atlas.FOUR_CLIQUE, EDGE_INDUCED): 1,
+        }
+        expr = solve_query(item_of(atlas.FOUR_CYCLE.vertex_induced()), set(measured))
+        assert expr == {
+            normalize_item(atlas.FOUR_CYCLE, EDGE_INDUCED): 1,
+            normalize_item(atlas.CHORDAL_FOUR_CYCLE, EDGE_INDUCED): -1,
+            normalize_item(atlas.FOUR_CLIQUE, EDGE_INDUCED): 3,
+        }
+        assert evaluate(expr, measured) == 1
+
+    def test_mixed_variant_measured_set(self):
+        """Closures may mix variants (the recursive-substitution cases)."""
+        measured_items = {
+            normalize_item(atlas.FOUR_CYCLE, VERTEX_INDUCED),
+            normalize_item(atlas.CHORDAL_FOUR_CYCLE, EDGE_INDUCED),
+            normalize_item(atlas.FOUR_CLIQUE, EDGE_INDUCED),
+        }
+        expr = solve_query(item_of(atlas.FOUR_CYCLE), measured_items)
+        # C4E = C4V + C4CV + 3*4CL and C4CV = C4CE - 6*4CL
+        assert expr == {
+            normalize_item(atlas.FOUR_CYCLE, VERTEX_INDUCED): 1,
+            normalize_item(atlas.CHORDAL_FOUR_CYCLE, EDGE_INDUCED): 1,
+            normalize_item(atlas.FOUR_CLIQUE, EDGE_INDUCED): -3,
+        }
+
+
+class TestMorphEquationRendering:
+    def test_sm_e1_text(self):
+        text = morph_equation(atlas.TAILED_TRIANGLE)
+        assert text.startswith("TT^E = ")
+        assert "4*C4C^V" in text and "12*4CL" in text
+
+    def test_sm_v1_text(self):
+        text = morph_equation(atlas.FOUR_CYCLE.vertex_induced())
+        assert text.startswith("C4^V = C4^E")
+        assert "- C4C^V" in text and "- 3*4CL" in text

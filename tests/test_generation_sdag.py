@@ -1,0 +1,120 @@
+"""Tests for superpattern generation and the S-DAG."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core import atlas
+from repro.core.canonical import canonical_form, pattern_id
+from repro.core.generation import (
+    direct_superpatterns,
+    skeleton,
+    superpattern_closure,
+)
+from repro.core.pattern import Pattern
+from repro.core.sdag import SDag
+
+from .strategies import connected_skeletons
+
+
+class TestSuperpatterns:
+    def test_four_cycle_direct_supers(self):
+        """Every chord of the 4-cycle gives the same chordal 4-cycle."""
+        supers = direct_superpatterns(canonical_form(atlas.FOUR_CYCLE))
+        assert len(supers) == 1
+        assert canonical_form(supers[0]) == canonical_form(atlas.CHORDAL_FOUR_CYCLE)
+
+    def test_clique_has_no_supers(self):
+        assert direct_superpatterns(canonical_form(Pattern.clique(4))) == ()
+
+    def test_closure_of_four_cycle(self):
+        closure = superpattern_closure(skeleton(atlas.FOUR_CYCLE))
+        names = {atlas.pattern_name(p) for p in closure}
+        assert names == {"C4", "C4C", "4CL"}
+
+    def test_closure_of_tailed_triangle(self):
+        closure = superpattern_closure(skeleton(atlas.TAILED_TRIANGLE))
+        names = {atlas.pattern_name(p) for p in closure}
+        assert names == {"TT", "C4C", "4CL"}
+
+    def test_closure_includes_self_and_clique(self):
+        for p in atlas.all_connected_patterns(4):
+            closure = superpattern_closure(skeleton(p))
+            assert canonical_form(p) in closure
+            assert any(q.is_clique for q in closure)
+
+    def test_labeled_closure_preserves_labels(self):
+        p = Pattern.path(3, labels=[0, 1, 0])
+        for q in superpattern_closure(skeleton(p)):
+            assert sorted(q.labels) == [0, 0, 1]
+
+    def test_labeled_patterns_distinct_closures(self):
+        """Figure 8 (right): labelings multiply the S-DAG nodes."""
+        a = superpattern_closure(skeleton(Pattern.path(3, labels=[0, 1, 0])))
+        b = superpattern_closure(skeleton(Pattern.path(3, labels=[1, 0, 1])))
+        assert {pattern_id(p) for p in a}.isdisjoint(pattern_id(p) for p in b)
+
+    @given(connected_skeletons(max_n=5))
+    @settings(max_examples=60, deadline=None)
+    def test_closure_edge_monotone(self, p: Pattern):
+        base = skeleton(p)
+        for q in superpattern_closure(base):
+            assert q.num_edges >= base.num_edges
+            assert q.n == base.n
+
+
+class TestSDag:
+    def test_motif_set_dag_is_exactly_the_motifs(self):
+        """4-MC is morphing's best case: the S-DAG adds no new patterns."""
+        dag = SDag.build(list(atlas.motif_patterns(4)))
+        assert len(dag) == 6
+        assert all(node.is_query for node in dag)
+
+    def test_single_pattern_dag(self):
+        dag = SDag.build([atlas.FOUR_CYCLE.vertex_induced()])
+        assert len(dag) == 3  # C4, C4C, 4CL
+        assert sum(node.is_query for node in dag) == 1
+
+    def test_parent_child_symmetry(self):
+        dag = SDag.build(list(atlas.motif_patterns(4)))
+        for node in dag:
+            for pid in node.parents:
+                assert node.id in dag.node_by_id(pid).children
+            for cid in node.children:
+                assert node.id in dag.node_by_id(cid).parents
+
+    def test_edges_go_one_edge_up(self):
+        dag = SDag.build(list(atlas.motif_patterns(4)))
+        for node in dag:
+            for pid in node.parents:
+                assert dag.node_by_id(pid).skel.num_edges == node.skel.num_edges + 1
+
+    def test_closure_query(self):
+        dag = SDag.build([atlas.FOUR_PATH])
+        closure_names = {atlas.pattern_name(n.skel) for n in dag.closure(atlas.FOUR_PATH)}
+        assert closure_names == {"4P", "TT", "C4", "C4C", "4CL"}
+
+    def test_shared_nodes_across_queries(self):
+        dag = SDag.build([atlas.FOUR_PATH, atlas.FOUR_CYCLE.vertex_induced()])
+        # 4P's closure is {4P, TT, C4, C4C, 4CL}; C4's adds nothing new.
+        assert len(dag) == 5
+
+    def test_contains_and_lookup(self):
+        dag = SDag.build([atlas.FOUR_CYCLE])
+        assert atlas.FOUR_CYCLE in dag
+        assert atlas.FOUR_CYCLE.vertex_induced() in dag  # same skeleton
+        assert atlas.FOUR_CLIQUE in dag  # generated superpattern
+        assert atlas.FOUR_STAR not in dag
+
+    def test_by_edge_count_desc(self):
+        dag = SDag.build([atlas.FOUR_PATH])
+        counts = [n.skel.num_edges for n in dag.by_edge_count_desc()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_memoized_extension(self):
+        """Building with overlapping queries must not duplicate nodes."""
+        dag = SDag.build(
+            [atlas.FOUR_PATH, atlas.TAILED_TRIANGLE, atlas.FOUR_CYCLE, atlas.FOUR_PATH]
+        )
+        ids = [n.id for n in dag]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,82 @@
+"""Golden-count regression tests on the MiCo stand-in.
+
+These literals were produced by this library (all four engines agree and
+small-graph slices were verified against the brute-force oracle); they
+pin the exact behaviour of the kernels, symmetry breaking and the
+deterministic dataset generators. Any change to counts here is a
+correctness regression or an intentional generator change — either way
+it should be loud.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import atlas
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.bigjoin.engine import BigJoinEngine
+from repro.engines.graphpi.engine import GraphPiEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.graph.datasets import load
+
+GOLDEN_MICO = {
+    ("triangle", "E"): 1661,
+    ("triangle", "V"): 1661,
+    ("3P", "E"): 38698,
+    ("3P", "V"): 33715,
+    ("4S", "E"): 433220,
+    ("4S", "V"): 321753,
+    ("TT", "E"): 127945,
+    ("TT", "V"): 96349,
+    ("C4", "E"): 13372,
+    ("C4", "V"): 5473,
+    ("C4C", "E"): 8919,
+    ("C4C", "V"): 6879,
+    ("4CL", "E"): 340,
+    ("4CL", "V"): 340,
+    ("4P", "E"): 684750,
+    ("4P", "V"): 424806,
+}
+
+#: The Eq. 1 identities over the golden numbers (independent arithmetic).
+def test_golden_numbers_satisfy_morphing_equations():
+    g = lambda name, variant: GOLDEN_MICO[(name, variant)]
+    # [SM-E2]: C4^E = C4^V + C4C^V + 3*4CL
+    assert g("C4", "E") == g("C4", "V") + g("C4C", "V") + 3 * g("4CL", "E")
+    # [SM-E1]: TT^E = TT^V + 4*C4C^V + 12*4CL
+    assert g("TT", "E") == g("TT", "V") + 4 * g("C4C", "V") + 12 * g("4CL", "E")
+    # 4S^E = 4S^V + TT^V + 2*C4C^V + 4*4CL
+    assert g("4S", "E") == g("4S", "V") + g("TT", "V") + 2 * g("C4C", "V") + 4 * g("4CL", "E")
+    # 4P^E = 4P^V + 2*TT^V + 4*C4^V + 6*C4C^V + 12*4CL
+    # (a 4-path occurs 4 times in a 4-cycle and 6 times in a chordal one)
+    assert g("4P", "E") == (
+        g("4P", "V") + 2 * g("TT", "V") + 4 * g("C4", "V") + 6 * g("C4C", "V")
+        + 12 * g("4CL", "E")
+    )
+    # C4C^E = C4C^V + 6*4CL
+    assert g("C4C", "E") == g("C4C", "V") + 6 * g("4CL", "E")
+    # triangles and cliques are variant-agnostic
+    assert g("triangle", "E") == g("triangle", "V")
+    assert g("4CL", "E") == g("4CL", "V")
+
+
+@pytest.mark.parametrize(
+    "engine_cls", [PeregrineEngine, AutoZeroEngine, GraphPiEngine, BigJoinEngine]
+)
+@pytest.mark.parametrize("name,variant", sorted(GOLDEN_MICO))
+def test_engines_reproduce_golden_counts(engine_cls, name, variant):
+    graph = load("mico")
+    pattern = atlas.NAMED_PATTERNS[name]
+    if variant == "V":
+        pattern = pattern.vertex_induced()
+    assert engine_cls().count(graph, pattern) == GOLDEN_MICO[(name, variant)]
+
+
+def test_dataset_generator_stability():
+    """The synthetic suite is deterministic; these stats are pinned."""
+    mico = load("mico")
+    assert (mico.num_vertices, mico.num_edges) == (350, 2064)
+    mag = load("mag")
+    assert (mag.num_vertices, mag.num_edges) == (900, 3584)
+    products = load("products")
+    assert (products.num_vertices, products.num_edges) == (1400, 12519)

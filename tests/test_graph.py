@@ -1,0 +1,274 @@
+"""Tests for the data-graph substrate: storage, IO, generators, partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.datasets import DATASET_CODES, load, summary_table
+from repro.graph.generators import (
+    assign_labels,
+    barabasi_albert,
+    erdos_renyi,
+    power_law_cluster,
+    random_weights,
+)
+from repro.graph.io import from_edges, load_edge_list, save_edge_list
+from repro.graph.partition import edge_cut, ldg_partition, partition_subgraphs
+
+
+class TestDataGraph:
+    def test_basic(self):
+        g = DataGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.degree(1) == 2
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(0, 3)
+
+    def test_duplicate_and_self_loop_edges_cleaned(self):
+        g = DataGraph(3, [(0, 1), (1, 0), (0, 1), (2, 2)])
+        assert g.num_edges == 1
+
+    def test_neighbors_sorted(self):
+        g = DataGraph(5, [(3, 0), (3, 4), (3, 1)])
+        assert list(g.neighbors(3)) == [0, 1, 4]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DataGraph(2, [(0, 5)])
+
+    def test_labels(self):
+        g = DataGraph(3, [(0, 1)], labels=[5, 5, 7])
+        assert g.is_labeled
+        assert g.label(2) == 7
+        assert set(g.vertices_by_label) == {5, 7}
+        assert list(g.vertices_by_label[5]) == [0, 1]
+        assert g.num_labels == 2
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError):
+            DataGraph(3, [(0, 1)], labels=[1, 2])
+
+    def test_degree_stats(self):
+        g = DataGraph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree == 3
+        assert g.avg_degree == pytest.approx(1.5)
+        assert g.high_degree_threshold(50.0) <= 3
+
+    def test_subgraph(self):
+        g = DataGraph(6, [(0, 1), (1, 2), (2, 3), (4, 5)], labels=[0, 1, 2, 3, 4, 5])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert sub.label(0) == 1  # vertex 1 remapped to 0
+
+    def test_edges_iteration(self):
+        g = DataGraph(3, [(2, 1), (0, 1)])
+        assert set(g.edges()) == {(1, 2), (0, 1)}
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        g = power_law_cluster(40, 3, 0.4, seed=1, name="io")
+        g = assign_labels(g, 4, seed=2)
+        epath, lpath = tmp_path / "g.txt", tmp_path / "g.labels"
+        save_edge_list(g, epath, lpath)
+        loaded = load_edge_list(epath, lpath)
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        assert set(loaded.edges()) == set(g.edges())
+        assert [loaded.label(v) for v in range(loaded.num_vertices)] == [
+            g.label(v) for v in range(g.num_vertices)
+        ]
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n% other\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("42\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_save_labels_requires_labeled(self, tmp_path):
+        g = from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            save_edge_list(g, tmp_path / "g.txt", tmp_path / "g.labels")
+
+    def test_from_edges_infers_size(self):
+        g = from_edges([(0, 5), (2, 3)])
+        assert g.num_vertices == 6
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        a = power_law_cluster(60, 3, 0.4, seed=9)
+        b = power_law_cluster(60, 3, 0.4, seed=9)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_seed_changes_graph(self):
+        a = power_law_cluster(60, 3, 0.4, seed=9)
+        b = power_law_cluster(60, 3, 0.4, seed=10)
+        assert set(a.edges()) != set(b.edges())
+
+    def test_erdos_renyi_density(self):
+        g = erdos_renyi(100, 0.1, seed=1)
+        expected = 0.1 * 100 * 99 / 2
+        assert 0.6 * expected < g.num_edges < 1.4 * expected
+
+    def test_barabasi_albert_heavy_tail(self):
+        g = barabasi_albert(300, 3, seed=2)
+        assert g.max_degree > 4 * g.avg_degree
+
+    def test_ba_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+    def test_power_law_cluster_has_triangles(self):
+        from repro.core.atlas import TRIANGLE
+        from repro.engines.peregrine.engine import PeregrineEngine
+
+        clustered = power_law_cluster(150, 4, 0.8, seed=3)
+        plain = barabasi_albert(150, 4, seed=3)
+        engine = PeregrineEngine()
+        assert engine.count(clustered, TRIANGLE) > engine.count(plain, TRIANGLE)
+
+    def test_assign_labels_skew(self):
+        g = power_law_cluster(400, 3, 0.3, seed=4)
+        labeled = assign_labels(g, 5, skew=2.0, seed=5)
+        counts = sorted(
+            (len(vs) for vs in labeled.vertices_by_label.values()), reverse=True
+        )
+        assert counts[0] > 2 * counts[-1]
+
+    def test_random_weights_shape(self):
+        g = erdos_renyi(30, 0.2, seed=0)
+        w = random_weights(g, seed=1)
+        assert w.shape == (30,)
+
+
+class TestDatasets:
+    def test_all_codes_load(self):
+        for code in DATASET_CODES:
+            g = load(code)
+            assert g.num_vertices > 0 and g.num_edges > 0
+
+    def test_relative_size_ordering(self):
+        """MI < MG < PR < OK < FR, as in Figure 11b."""
+        sizes = [load(c).num_vertices for c in ("MI", "MG", "PR", "OK", "FR")]
+        assert sizes == sorted(sizes)
+
+    def test_label_cardinalities(self):
+        assert load("MI").is_labeled
+        assert load("MG").is_labeled
+        assert load("PR").is_labeled
+        assert not load("OK").is_labeled
+        assert not load("FR").is_labeled
+        assert load("MG").num_labels > load("PR").num_labels > 1
+
+    def test_memoized(self):
+        assert load("MI") is load("mico")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_summary_table(self):
+        rows = summary_table()
+        assert len(rows) == 5
+        assert {r["code"] for r in rows} == set(DATASET_CODES)
+
+
+class TestPartition:
+    def test_assignment_covers_all(self):
+        g = power_law_cluster(120, 3, 0.4, seed=6)
+        assignment = ldg_partition(g, 4, seed=1)
+        assert len(assignment) == 120
+        assert set(assignment) <= {0, 1, 2, 3}
+
+    def test_balance(self):
+        g = power_law_cluster(200, 3, 0.4, seed=7)
+        assignment = ldg_partition(g, 4, seed=1)
+        sizes = [assignment.count(i) for i in range(4)]
+        assert max(sizes) <= 2 * min(sizes) + 5
+
+    def test_single_part(self):
+        g = erdos_renyi(20, 0.2, seed=1)
+        assert set(ldg_partition(g, 1)) == {0}
+
+    def test_invalid_parts(self):
+        g = erdos_renyi(10, 0.2, seed=1)
+        with pytest.raises(ValueError):
+            ldg_partition(g, 0)
+
+    def test_subgraphs_drop_cut_edges(self):
+        g = power_law_cluster(150, 3, 0.4, seed=8)
+        parts = partition_subgraphs(g, 3, seed=2)
+        assignment = ldg_partition(g, 3, seed=2)
+        kept = sum(p.num_edges for p in parts)
+        assert kept == g.num_edges - edge_cut(g, assignment)
+        assert sum(p.num_vertices for p in parts) == g.num_vertices
+
+    def test_ldg_beats_random_cut(self):
+        g = power_law_cluster(200, 4, 0.5, seed=9)
+        rng = np.random.default_rng(0)
+        random_assignment = rng.integers(0, 4, g.num_vertices).tolist()
+        ldg_assignment = ldg_partition(g, 4, seed=3)
+        assert edge_cut(g, ldg_assignment) < edge_cut(g, random_assignment)
+
+
+class TestExtraFormats:
+    def test_metis_round_trip(self, tmp_path):
+        from repro.graph.io import load_metis, save_metis
+
+        g = power_law_cluster(40, 3, 0.4, seed=12, name="metis")
+        path = tmp_path / "g.metis"
+        save_metis(g, path)
+        loaded = load_metis(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert set(loaded.edges()) == set(g.edges())
+
+    def test_metis_header_validated(self, tmp_path):
+        from repro.graph.io import load_metis
+
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n1\n")  # promises 3 vertex lines, has 2
+        with pytest.raises(ValueError, match="vertex lines"):
+            load_metis(path)
+
+    def test_metis_comments_skipped(self, tmp_path):
+        from repro.graph.io import load_metis
+
+        path = tmp_path / "c.metis"
+        path.write_text("% comment\n2 1\n2\n1\n")
+        g = load_metis(path)
+        assert g.num_edges == 1
+
+    def test_metis_out_of_range_neighbor(self, tmp_path):
+        from repro.graph.io import load_metis
+
+        path = tmp_path / "oob.metis"
+        path.write_text("2 1\n5\n1\n")
+        with pytest.raises(ValueError, match="out of range"):
+            load_metis(path)
+
+    def test_json_round_trip(self, tmp_path):
+        from repro.graph.io import load_json_graph, save_json_graph
+
+        g = assign_labels(power_law_cluster(30, 3, 0.4, seed=13), 4, seed=14)
+        path = tmp_path / "g.json"
+        save_json_graph(g, path)
+        loaded = load_json_graph(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert set(loaded.edges()) == set(g.edges())
+        assert [loaded.label(v) for v in range(loaded.num_vertices)] == [
+            g.label(v) for v in range(g.num_vertices)
+        ]
+        assert loaded.name == g.name

@@ -1,0 +1,149 @@
+"""Tests for subgraph isomorphism, automorphisms and symmetry breaking."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.core import atlas
+from repro.core.isomorphism import (
+    automorphisms,
+    matches_of_pattern_in,
+    occurrence_count,
+    occurrence_embeddings,
+    subgraph_isomorphisms,
+    symmetry_breaking_conditions,
+)
+from repro.core.pattern import Pattern, normalize_edge
+
+from .strategies import connected_skeletons, patterns
+
+
+def _to_nx(p: Pattern) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(p.n))
+    g.add_edges_from(p.edges)
+    if p.labels is not None:
+        nx.set_node_attributes(g, {v: p.labels[v] for v in range(p.n)}, "label")
+    return g
+
+
+class TestAutomorphisms:
+    def test_known_group_sizes(self):
+        assert len(automorphisms(Pattern.clique(4))) == 24
+        assert len(automorphisms(Pattern.cycle(4))) == 8
+        assert len(automorphisms(Pattern.star(4))) == 6
+        assert len(automorphisms(Pattern.path(4))) == 2
+        assert len(automorphisms(atlas.TAILED_TRIANGLE)) == 2
+
+    def test_labels_break_symmetry(self):
+        labeled = Pattern.clique(3, labels=[0, 0, 1])
+        assert len(automorphisms(labeled)) == 2
+
+    @given(patterns(max_n=5))
+    @settings(max_examples=80, deadline=None)
+    def test_group_matches_networkx(self, p: Pattern):
+        ours = len(automorphisms(p.edge_induced()))
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            _to_nx(p), _to_nx(p), node_match=lambda a, b: a.get("label") == b.get("label")
+        )
+        theirs = sum(1 for _ in matcher.isomorphisms_iter())
+        assert ours == theirs
+
+    @given(patterns(max_n=5))
+    @settings(max_examples=50, deadline=None)
+    def test_group_closure(self, p: Pattern):
+        group = automorphisms(p.edge_induced())
+        as_set = set(group)
+        for f in group:
+            for g in group:
+                composed = tuple(f[g[v]] for v in range(p.n))
+                assert composed in as_set
+
+
+class TestSubgraphIsomorphisms:
+    def test_paper_coefficients(self):
+        # Figure 7: the unique-occurrence coefficients.
+        assert occurrence_count(atlas.FOUR_CYCLE, atlas.FOUR_CLIQUE) == 3
+        assert occurrence_count(atlas.TAILED_TRIANGLE, atlas.CHORDAL_FOUR_CYCLE) == 4
+        assert occurrence_count(atlas.TAILED_TRIANGLE, atlas.FOUR_CLIQUE) == 12
+        assert occurrence_count(atlas.FOUR_STAR, atlas.FOUR_CLIQUE) == 4
+        assert occurrence_count(atlas.FOUR_PATH, atlas.FOUR_CLIQUE) == 12
+        assert occurrence_count(atlas.CHORDAL_FOUR_CYCLE, atlas.FOUR_CLIQUE) == 6
+
+    def test_self_occurrence_is_one(self):
+        for p in atlas.all_connected_patterns(4):
+            assert occurrence_count(p, p) == 1
+
+    def test_no_occurrence_in_sparser(self):
+        assert occurrence_count(atlas.FOUR_CLIQUE, atlas.FOUR_CYCLE) == 0
+
+    def test_embedding_count_relation(self):
+        # |phi(p, q)| = occurrences * |Aut(p)|
+        p, q = atlas.FOUR_CYCLE, atlas.FOUR_CLIQUE
+        assert len(subgraph_isomorphisms(p, q)) == 3 * len(automorphisms(p))
+
+    def test_labels_respected(self):
+        p = Pattern(2, [(0, 1)], labels=[0, 1])
+        q = Pattern.clique(3, labels=[0, 1, 1])
+        assert occurrence_count(p, q) == 2
+
+    def test_embeddings_are_valid_maps(self):
+        p, q = atlas.TAILED_TRIANGLE, atlas.FOUR_CLIQUE
+        for f in occurrence_embeddings(p, q):
+            assert sorted(f) == sorted(set(f))  # injective
+            for u, v in p.edges:
+                assert normalize_edge(f[u], f[v]) in q.edges
+
+    def test_embeddings_distinct_images(self):
+        p, q = atlas.FOUR_CYCLE, atlas.FOUR_CLIQUE
+        images = {
+            frozenset(normalize_edge(f[u], f[v]) for u, v in p.edges)
+            for f in occurrence_embeddings(p, q)
+        }
+        assert len(images) == 3
+
+
+class TestSymmetryBreaking:
+    @given(connected_skeletons(max_n=5))
+    @settings(max_examples=80, deadline=None)
+    def test_conditions_pick_exactly_one_embedding(self, p: Pattern):
+        """Among all automorphic images of any assignment, exactly one
+        satisfies the partial order — the uniqueness guarantee engines
+        rely on."""
+        conditions = symmetry_breaking_conditions(p)
+        group = automorphisms(p)
+        # Work with an arbitrary injective assignment of distinct ids.
+        base = tuple(range(10, 10 + p.n))
+        satisfying = 0
+        for g in group:
+            assignment = [0] * p.n
+            for v in range(p.n):
+                assignment[g[v]] = base[v]
+            if all(assignment[u] < assignment[v] for u, v in conditions):
+                satisfying += 1
+        assert satisfying == 1
+
+    def test_asymmetric_pattern_has_no_conditions(self):
+        asym = Pattern(4, [(0, 1), (1, 2), (2, 3), (0, 2)])  # tailed triangle
+        # Tailed triangle has a 2-element group -> exactly one condition.
+        assert len(symmetry_breaking_conditions(asym)) == 1
+
+    def test_clique_conditions_total_order(self):
+        conds = symmetry_breaking_conditions(Pattern.clique(4))
+        assert len(conds) == 6  # all pairs ordered
+
+
+class TestMatchesIn:
+    def test_edge_induced(self):
+        assert matches_of_pattern_in(
+            atlas.FOUR_CYCLE, atlas.FOUR_CLIQUE, require_induced=False
+        ) == 3
+
+    def test_vertex_induced(self):
+        assert matches_of_pattern_in(
+            atlas.FOUR_CYCLE, atlas.FOUR_CLIQUE, require_induced=True
+        ) == 0
+        assert matches_of_pattern_in(
+            atlas.FOUR_CYCLE, atlas.FOUR_CYCLE, require_induced=True
+        ) == 1

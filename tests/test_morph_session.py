@@ -1,0 +1,195 @@
+"""End-to-end morphing correctness: baseline == morphed, everywhere.
+
+This is the library's central guarantee (paper claim C1): enabling
+Subgraph Morphing never changes results — across engines, aggregations,
+output modes, and random inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import atlas
+from repro.core.aggregation import MNIAggregation
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.bigjoin.engine import BigJoinEngine
+from repro.engines.graphpi.engine import GraphPiEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.engines.sumpa.engine import SumPAEngine
+from repro.morph.session import MorphingSession, compare_baseline_and_morphed
+
+from .oracle import brute_force_count, brute_force_mni
+from .strategies import connected_skeletons, data_graphs
+
+ENGINES = [
+    PeregrineEngine,
+    AutoZeroEngine,
+    GraphPiEngine,
+    BigJoinEngine,
+    SumPAEngine,
+]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestCountingEquivalence:
+    def test_motifs_3(self, engine_cls, small_graph):
+        base, morphed = compare_baseline_and_morphed(
+            engine_cls, small_graph, atlas.motif_patterns(3)
+        )
+        assert base.results == morphed.results
+        for p, c in base.results.items():
+            assert c == brute_force_count(small_graph, p)
+
+    def test_motifs_4(self, engine_cls, small_graph):
+        base, morphed = compare_baseline_and_morphed(
+            engine_cls, small_graph, atlas.motif_patterns(4)
+        )
+        assert base.results == morphed.results
+
+    def test_single_vertex_induced_pattern(self, engine_cls, small_graph):
+        q = atlas.CHORDAL_FOUR_CYCLE.vertex_induced()
+        base, morphed = compare_baseline_and_morphed(engine_cls, small_graph, [q])
+        assert base.results == morphed.results
+        assert base.results[q] == brute_force_count(small_graph, q)
+
+    def test_mixed_variant_query_set(self, engine_cls, small_graph):
+        queries = [atlas.FOUR_CYCLE, atlas.FOUR_STAR.vertex_induced(), atlas.FOUR_CLIQUE]
+        base, morphed = compare_baseline_and_morphed(engine_cls, small_graph, queries)
+        assert base.results == morphed.results
+
+
+class TestCountingEquivalenceRandom:
+    @given(data_graphs(min_n=6, max_n=12), connected_skeletons(max_n=4))
+    @settings(max_examples=20, deadline=None)
+    def test_peregrine_random(self, graph, skel):
+        for query in (skel, skel.vertex_induced()):
+            base, morphed = compare_baseline_and_morphed(
+                PeregrineEngine, graph, [query]
+            )
+            assert base.results == morphed.results
+            assert base.results[query] == brute_force_count(graph, query)
+
+    @given(data_graphs(min_n=6, max_n=11), connected_skeletons(max_n=4))
+    @settings(max_examples=12, deadline=None)
+    def test_graphpi_random(self, graph, skel):
+        query = skel.vertex_induced()
+        base, morphed = compare_baseline_and_morphed(GraphPiEngine, graph, [query])
+        assert base.results == morphed.results
+
+
+class TestMNIEquivalence:
+    @pytest.mark.parametrize("engine_cls", [PeregrineEngine, BigJoinEngine])
+    def test_fsm_style_queries(self, engine_cls, small_labeled_graph):
+        from repro.core.pattern import Pattern
+
+        queries = [
+            Pattern(3, [(0, 1), (1, 2)], labels=[0, 0, 0]),
+            Pattern(3, [(0, 1), (1, 2)], labels=[0, 1, 0]),
+            Pattern(2, [(0, 1)], labels=[0, 0]),
+        ]
+        base, morphed = compare_baseline_and_morphed(
+            engine_cls, small_labeled_graph, queries, aggregation=MNIAggregation()
+        )
+        assert base.results == morphed.results
+        for q in queries:
+            assert base.results[q] == brute_force_mni(small_labeled_graph, q)
+
+    def test_unlabeled_mni(self, small_graph):
+        base, morphed = compare_baseline_and_morphed(
+            PeregrineEngine,
+            small_graph,
+            [atlas.FOUR_STAR, atlas.FOUR_PATH],
+            aggregation=MNIAggregation(),
+        )
+        assert base.results == morphed.results
+
+
+class TestStreamingEquivalence:
+    def _occurrences(self, session, graph, patterns, vertex_filter=None):
+        seen: dict = {}
+
+        def process(pattern, match):
+            key = frozenset(
+                tuple(sorted((match[u], match[v]))) for u, v in pattern.edges
+            )
+            seen.setdefault(pattern, set()).add(key)
+
+        result = session.run_streaming(
+            graph, patterns, process, vertex_filter=vertex_filter
+        )
+        return seen, result
+
+    @pytest.mark.parametrize("engine_cls", [PeregrineEngine, BigJoinEngine])
+    def test_streams_identical(self, engine_cls, small_graph):
+        patterns = [atlas.FOUR_CYCLE, atlas.TAILED_TRIANGLE]
+        base_seen, base = self._occurrences(
+            MorphingSession(engine_cls(), enabled=False), small_graph, patterns
+        )
+        morph_seen, morphed = self._occurrences(
+            MorphingSession(engine_cls(), enabled=True), small_graph, patterns
+        )
+        assert base_seen == morph_seen
+        assert base.results == morphed.results  # emitted counts
+
+    def test_stream_with_vertex_filter(self, small_graph, vertex_weights):
+        from repro.apps.enumeration import weight_window_filter
+
+        accept = weight_window_filter(vertex_weights)
+        patterns = [atlas.FOUR_CYCLE]
+        base_seen, base = self._occurrences(
+            MorphingSession(PeregrineEngine(), enabled=False),
+            small_graph,
+            patterns,
+            vertex_filter=accept,
+        )
+        morph_seen, morphed = self._occurrences(
+            MorphingSession(PeregrineEngine(), enabled=True),
+            small_graph,
+            patterns,
+            vertex_filter=accept,
+        )
+        assert base_seen == morph_seen
+        assert base.results == morphed.results
+
+    def test_no_duplicate_emissions(self, small_graph):
+        counts: dict = {}
+
+        def process(pattern, match):
+            key = frozenset(
+                tuple(sorted((match[u], match[v]))) for u, v in pattern.edges
+            )
+            counts[key] = counts.get(key, 0) + 1
+
+        MorphingSession(PeregrineEngine(), enabled=True).run_streaming(
+            small_graph, [atlas.FOUR_CYCLE], process
+        )
+        assert counts and all(v == 1 for v in counts.values())
+
+
+class TestSessionBookkeeping:
+    def test_morphed_run_reports_selection(self, small_graph):
+        session = MorphingSession(PeregrineEngine(), enabled=True)
+        result = session.run(small_graph, list(atlas.motif_patterns(3)))
+        assert result.morphing_enabled
+        assert result.selection is not None
+        assert result.measured
+        assert result.transform_seconds >= 0.0
+        assert result.total_seconds >= result.match_seconds
+
+    def test_baseline_run_has_no_selection(self, small_graph):
+        session = MorphingSession(PeregrineEngine(), enabled=False)
+        result = session.run(small_graph, [atlas.TRIANGLE])
+        assert not result.morphing_enabled
+        assert result.selection is None
+
+    def test_transformation_time_is_small(self, small_graph):
+        """The paper reports sub-10ms transformation for size-4/5 inputs;
+        allow generous slack for Python but keep it bounded."""
+        session = MorphingSession(PeregrineEngine(), enabled=True)
+        result = session.run(small_graph, list(atlas.motif_patterns(4)))
+        assert result.transform_seconds < 5.0
+
+    def test_empty_query_set(self, small_graph):
+        result = MorphingSession(PeregrineEngine()).run(small_graph, [])
+        assert result.results == {}

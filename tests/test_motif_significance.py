@@ -1,0 +1,105 @@
+"""Tests for rewiring and network-motif significance."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.motif_significance import (
+    MotifSignificance,
+    motif_significance,
+    significant_motifs,
+)
+from repro.core.atlas import TRIANGLE
+from repro.core.pattern import Pattern
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import erdos_renyi, power_law_cluster, rewire
+
+
+class TestRewire:
+    def test_degree_sequence_preserved(self):
+        g = power_law_cluster(120, 4, 0.5, seed=3)
+        r = rewire(g, seed=7)
+        assert list(r.degrees) == list(g.degrees)
+        assert r.num_edges == g.num_edges
+
+    def test_structure_changes(self):
+        g = power_law_cluster(120, 4, 0.5, seed=3)
+        r = rewire(g, seed=7)
+        assert set(r.edges()) != set(g.edges())
+
+    def test_deterministic(self):
+        g = power_law_cluster(80, 3, 0.4, seed=1)
+        assert set(rewire(g, seed=5).edges()) == set(rewire(g, seed=5).edges())
+
+    def test_labels_carried(self):
+        g = DataGraph(4, [(0, 1), (2, 3)], labels=[1, 2, 3, 4])
+        r = rewire(g, seed=1)
+        assert [r.label(v) for v in range(4)] == [1, 2, 3, 4]
+
+    def test_tiny_graph_safe(self):
+        g = DataGraph(2, [(0, 1)], name="k2")
+        r = rewire(g)
+        assert set(r.edges()) == {(0, 1)}
+
+    def test_no_self_loops_or_duplicates(self):
+        g = power_law_cluster(60, 3, 0.5, seed=9)
+        r = rewire(g, swaps=5000, seed=11)
+        assert all(u != v for u, v in r.edges())
+        assert len(set(r.edges())) == r.num_edges
+
+
+class TestSignificance:
+    @pytest.fixture(scope="class")
+    def clustered(self):
+        return power_law_cluster(140, 4, 0.8, seed=5, name="clustered")
+
+    def test_triangles_significant_in_clustered_graph(self, clustered):
+        """A clustered graph has far more triangles than its rewired
+        null model — the canonical Milo et al. result."""
+        results = motif_significance(clustered, size=3, null_samples=6, seed=1)
+        by_name = {r.name: r for r in results}
+        assert by_name["triangle"].z_score > 2.0
+        assert by_name["triangle"].observed > by_name["triangle"].null_mean
+
+    def test_er_graph_not_significant(self):
+        """ER graphs are their own null model: |z| stays small."""
+        g = erdos_renyi(150, 0.06, seed=2)
+        results = motif_significance(g, size=3, null_samples=8, seed=3)
+        for r in results:
+            if math.isfinite(r.z_score):
+                assert abs(r.z_score) < 4.0
+
+    def test_significant_filtering(self, clustered):
+        hits = significant_motifs(clustered, size=3, threshold=2.0,
+                                  null_samples=6, seed=1)
+        assert any(r.name == "triangle" for r in hits)
+
+    def test_sorted_by_absolute_z(self, clustered):
+        results = motif_significance(clustered, size=3, null_samples=5, seed=4)
+        zs = [abs(r.z_score) for r in results if math.isfinite(r.z_score)]
+        assert zs == sorted(zs, reverse=True)
+
+    def test_needs_two_samples(self, clustered):
+        with pytest.raises(ValueError):
+            motif_significance(clustered, null_samples=1)
+
+    def test_zero_std_cases(self):
+        flat = MotifSignificance(
+            pattern=TRIANGLE, observed=5, null_mean=5.0, null_std=0.0
+        )
+        assert flat.z_score == 0.0
+        spike = MotifSignificance(
+            pattern=TRIANGLE, observed=9, null_mean=5.0, null_std=0.0
+        )
+        assert math.isinf(spike.z_score)
+
+    def test_morph_and_baseline_agree(self):
+        g = power_law_cluster(90, 3, 0.6, seed=8)
+        a = motif_significance(g, size=3, null_samples=4, morph=True, seed=2)
+        b = motif_significance(g, size=3, null_samples=4, morph=False, seed=2)
+        assert [(r.name, r.observed, r.null_mean) for r in a] == [
+            (r.name, r.observed, r.null_mean) for r in b
+        ]

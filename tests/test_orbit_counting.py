@@ -1,0 +1,114 @@
+"""Tests for graphlet orbit counting."""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+import numpy as np
+import pytest
+
+from repro.apps.orbit_counting import (
+    OrbitIndex,
+    most_similar_vertices,
+    orbit_degree_vectors,
+    orbit_signature,
+)
+from repro.core.isomorphism import vertex_orbits
+from repro.graph.datagraph import DataGraph
+
+
+def brute_force_orbit_matrix(graph: DataGraph, index: OrbitIndex) -> np.ndarray:
+    """Independent orbit tally: enumerate vertex subsets directly."""
+    from repro.core.pattern import normalize_edge
+
+    matrix = np.zeros((graph.num_vertices, index.num_orbits), dtype=np.int64)
+    for midx, motif in enumerate(index.motifs):
+        orbit_of = index.orbit_of[midx]
+        for combo in combinations(range(graph.num_vertices), motif.n):
+            seen_images = set()
+            for perm in permutations(combo):
+                ok = all(
+                    graph.has_edge(perm[u], perm[v]) for u, v in motif.edges
+                ) and not any(
+                    graph.has_edge(perm[u], perm[v]) for u, v in motif.anti_edges
+                )
+                if not ok:
+                    continue
+                image = tuple(
+                    sorted(
+                        normalize_edge(perm[u], perm[v]) for u, v in motif.edges
+                    )
+                )
+                if image in seen_images:
+                    continue  # same occurrence via an automorphism
+                seen_images.add(image)
+                for u in range(motif.n):
+                    matrix[perm[u], orbit_of[u]] += 1
+    return matrix
+
+
+class TestOrbitIndex:
+    @pytest.mark.parametrize("size,expected", [(2, 1), (3, 3), (4, 11)])
+    def test_classic_orbit_counts(self, size, expected):
+        """The graphlet literature's orbit tallies (orbits 0-14)."""
+        assert OrbitIndex.for_size(size).num_orbits == expected
+
+    def test_orbit_of_is_constant_on_orbits(self):
+        index = OrbitIndex.for_size(4)
+        for midx, motif in enumerate(index.motifs):
+            for orbit in vertex_orbits(motif.edge_induced()):
+                ids = {index.orbit_of[midx][v] for v in orbit}
+                assert len(ids) == 1
+
+    def test_names_unique(self):
+        index = OrbitIndex.for_size(4)
+        assert len(set(index.names)) == index.num_orbits
+
+
+class TestOrbitVectors:
+    def test_matches_brute_force(self, tiny_graph):
+        matrix, index = orbit_degree_vectors(tiny_graph, 3)
+        expected = brute_force_orbit_matrix(tiny_graph, index)
+        assert (matrix == expected).all()
+
+    def test_matches_brute_force_size4(self, tiny_graph):
+        matrix, index = orbit_degree_vectors(tiny_graph, 4)
+        expected = brute_force_orbit_matrix(tiny_graph, index)
+        assert (matrix == expected).all()
+
+    def test_row_sums_are_size_times_counts(self, small_graph):
+        """Each occurrence contributes `size` vertex-role incidences."""
+        from repro.apps.motif_counting import count_motifs
+
+        matrix, _index = orbit_degree_vectors(small_graph, 3)
+        total_motifs = sum(count_motifs(small_graph, 3).results.values())
+        assert matrix.sum() == 3 * total_motifs
+
+    def test_star_center_orbit(self):
+        star = DataGraph(5, [(0, 1), (0, 2), (0, 3), (0, 4)], name="star")
+        matrix, index = orbit_degree_vectors(star, 3)
+        # Vertex 0 is the center of C(4,2)=6 induced paths.
+        path_center = [
+            index.orbit_of[m][v]
+            for m, motif in enumerate(index.motifs)
+            if motif.num_edges == 2
+            for v in range(3)
+            if motif.degree(v) == 2
+        ][0]
+        assert matrix[0, path_center] == 6
+        assert matrix[1, path_center] == 0
+
+
+class TestConvenience:
+    def test_signature_keys(self, tiny_graph):
+        sig = orbit_signature(tiny_graph, 0, size=3)
+        assert len(sig) == 3
+        assert all(isinstance(v, int) for v in sig.values())
+
+    def test_similarity_excludes_self(self, small_graph):
+        sims = most_similar_vertices(small_graph, 3, size=3, top=4)
+        assert all(v != 3 for v, _s in sims)
+        assert len(sims) <= 4
+        # Similarities sorted descending.
+        values = [s for _v, s in sims]
+        assert values == sorted(values, reverse=True)

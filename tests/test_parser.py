@@ -1,0 +1,108 @@
+"""Tests for the pattern DSL parser and serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import atlas
+from repro.core.canonical import are_isomorphic
+from repro.core.parser import (
+    PatternSyntaxError,
+    format_pattern,
+    parse_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+)
+from repro.core.pattern import Pattern
+
+from .strategies import patterns
+
+
+class TestParsing:
+    def test_triangle(self):
+        p = parse_pattern("a-b, b-c, c-a")
+        assert are_isomorphic(p, atlas.TRIANGLE)
+
+    def test_chain_expansion(self):
+        p = parse_pattern("a-b-c-d")
+        assert are_isomorphic(p, atlas.FOUR_PATH)
+
+    def test_cycle_via_chain(self):
+        p = parse_pattern("a-b-c-d-a")
+        assert are_isomorphic(p, atlas.FOUR_CYCLE)
+
+    def test_anti_edge(self):
+        p = parse_pattern("a-b, b-c, a!c")
+        assert len(p.anti_edges) == 1
+        assert p.has_anti_edge(0, 2)
+
+    def test_labels(self):
+        p = parse_pattern("a-b, b-c [a:1, b:2, c:1]")
+        assert p.labels == (1, 2, 1)
+
+    def test_partial_labels(self):
+        p = parse_pattern("a-b [a:3]")
+        assert p.label(0) == 3 and p.label(1) is None
+
+    def test_numeric_names(self):
+        p = parse_pattern("1-2, 2-3, 3-1")
+        assert are_isomorphic(p, atlas.TRIANGLE)
+
+    def test_first_appearance_ordering(self):
+        p = parse_pattern("x-y, y-z")
+        # x=0, y=1, z=2
+        assert p.has_edge(0, 1) and p.has_edge(1, 2)
+
+    def test_whitespace_insensitive(self):
+        assert parse_pattern(" a - b ,b-c ") == parse_pattern("a-b,b-c")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "a",
+            "a-",
+            "-a",
+            "a--b",
+            "a-a",
+            "a-b [a:]",
+            "a-b [q:1]",
+            "a-b [a:x]",
+            "a-b, a!b",  # edge and anti-edge on the same pair
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern(bad)
+
+
+class TestFormatting:
+    def test_round_trip_named(self):
+        for p in (atlas.TAILED_TRIANGLE, atlas.FOUR_CYCLE.vertex_induced(), atlas.P8):
+            assert parse_pattern(format_pattern(p)) == p
+
+    def test_round_trip_labeled(self):
+        p = Pattern(3, [(0, 1), (1, 2)], labels=[4, 5, 4])
+        assert parse_pattern(format_pattern(p)) == p
+
+    @given(patterns(max_n=5, labeled=True))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_random(self, p: Pattern):
+        if p.num_edges == 0 and not p.anti_edges:
+            return  # the DSL cannot express edgeless patterns
+        assert parse_pattern(format_pattern(p)) == p
+
+
+class TestSerialization:
+    @given(patterns(max_n=6, labeled=True))
+    @settings(max_examples=60, deadline=None)
+    def test_dict_round_trip(self, p: Pattern):
+        assert pattern_from_dict(pattern_to_dict(p)) == p
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        p = atlas.CHORDAL_FOUR_CYCLE.vertex_induced().with_labels([1, 2, 3, 4])
+        data = json.loads(json.dumps(pattern_to_dict(p)))
+        assert pattern_from_dict(data) == p

@@ -1,0 +1,203 @@
+"""Unit tests for repro.core.pattern."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pattern import Pattern, normalize_edge
+
+from .strategies import patterns, permutations_of
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Pattern(3, [(0, 1), (1, 2)])
+        assert p.n == 3
+        assert p.num_edges == 2
+        assert p.has_edge(1, 0)
+        assert not p.has_edge(0, 2)
+
+    def test_edge_normalization(self):
+        p = Pattern(3, [(1, 0), (0, 1), (2, 1)])
+        assert p.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Pattern(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Pattern(2, [(0, 5)])
+
+    def test_overlapping_anti_edge_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Pattern(3, [(0, 1)], anti_edges=[(0, 1)])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(0, [])
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError, match="labels"):
+            Pattern(3, [(0, 1)], labels=[1, 2])
+
+    def test_all_none_labels_mean_unlabeled(self):
+        p = Pattern(2, [(0, 1)], labels=[None, None])
+        assert not p.is_labeled
+        assert p.labels is None
+
+
+class TestShapes:
+    def test_clique(self):
+        k4 = Pattern.clique(4)
+        assert k4.num_edges == 6
+        assert k4.is_clique
+        assert k4.is_edge_induced and k4.is_vertex_induced
+
+    def test_cycle(self):
+        c5 = Pattern.cycle(5)
+        assert c5.num_edges == 5
+        assert all(c5.degree(v) == 2 for v in range(5))
+
+    def test_star(self):
+        s = Pattern.star(5)
+        assert s.degree(0) == 4
+        assert all(s.degree(v) == 1 for v in range(1, 5))
+
+    def test_path(self):
+        p = Pattern.path(4)
+        assert p.num_edges == 3
+        assert p.degree(0) == p.degree(3) == 1
+
+    def test_shape_minimums(self):
+        with pytest.raises(ValueError):
+            Pattern.cycle(2)
+        with pytest.raises(ValueError):
+            Pattern.star(1)
+        with pytest.raises(ValueError):
+            Pattern.path(1)
+
+
+class TestVariants:
+    def test_vertex_induced_fills_complement(self):
+        p = Pattern.cycle(4).vertex_induced()
+        assert len(p.anti_edges) == 2
+        assert p.is_vertex_induced
+
+    def test_edge_induced_strips_anti_edges(self):
+        p = Pattern.cycle(4).vertex_induced().edge_induced()
+        assert not p.anti_edges
+        assert p.is_edge_induced
+
+    def test_clique_is_both(self):
+        k = Pattern.clique(4)
+        assert k.vertex_induced() is k  # no anti-edges to add
+        assert k.edge_induced() is k
+
+    def test_variants_share_edges(self):
+        p = Pattern.cycle(5)
+        assert p.vertex_induced().edges == p.edges
+
+    @given(patterns(max_n=5))
+    def test_vertex_induced_idempotent(self, p: Pattern):
+        v = p.vertex_induced()
+        assert v.vertex_induced() == v
+        assert v.edges | v.anti_edges == frozenset(
+            normalize_edge(a, b)
+            for a in range(p.n)
+            for b in range(a + 1, p.n)
+        )
+
+
+class TestRelabel:
+    def test_identity(self):
+        p = Pattern(3, [(0, 1), (1, 2)], labels=[7, 8, 9])
+        assert p.relabel([0, 1, 2]) == p
+
+    def test_swap(self):
+        p = Pattern(3, [(0, 1)])
+        q = p.relabel([2, 1, 0])
+        assert q.has_edge(2, 1)
+        assert not q.has_edge(0, 1)
+
+    def test_labels_follow_vertices(self):
+        p = Pattern(3, [(0, 1)], labels=[10, 20, 30])
+        q = p.relabel([1, 2, 0])
+        assert q.label(1) == 10
+        assert q.label(2) == 20
+        assert q.label(0) == 30
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(3, [(0, 1)]).relabel([0, 0, 1])
+
+    @given(patterns(max_n=5), st.data())
+    def test_degree_sequence_invariant(self, p: Pattern, data):
+        perm = data.draw(permutations_of(p.n))
+        q = p.relabel(perm)
+        assert sorted(p.degree(v) for v in range(p.n)) == sorted(
+            q.degree(v) for v in range(q.n)
+        )
+        assert q.num_edges == p.num_edges
+        assert len(q.anti_edges) == len(p.anti_edges)
+
+
+class TestQueries:
+    def test_neighbors(self):
+        p = Pattern(4, [(0, 1), (0, 2), (2, 3)])
+        assert p.neighbors(0) == {1, 2}
+        assert p.neighbors(3) == {2}
+
+    def test_anti_neighbors(self):
+        p = Pattern.cycle(4).vertex_induced()
+        assert p.anti_neighbors(0) == {2}
+
+    def test_non_edges(self):
+        p = Pattern(4, [(0, 1)], anti_edges=[(2, 3)])
+        assert normalize_edge(0, 2) in p.non_edges
+        assert normalize_edge(2, 3) not in p.non_edges
+        assert normalize_edge(0, 1) not in p.non_edges
+
+    def test_connectivity(self):
+        assert Pattern.path(5).is_connected
+        assert not Pattern(4, [(0, 1), (2, 3)]).is_connected
+        assert Pattern(1, []).is_connected
+
+    def test_with_edge(self):
+        p = Pattern.cycle(4).vertex_induced()
+        q = p.with_edge(0, 2)
+        assert q.has_edge(0, 2)
+        assert not q.has_anti_edge(0, 2)
+        with pytest.raises(ValueError):
+            q.with_edge(0, 2)
+
+    def test_unlabeled_strips(self):
+        p = Pattern(2, [(0, 1)], labels=[1, 2])
+        assert not p.unlabeled().is_labeled
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Pattern(3, [(0, 1), (1, 2)])
+        b = Pattern(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_by_anti_edges(self):
+        a = Pattern.cycle(4)
+        assert a != a.vertex_induced()
+
+    def test_inequality_by_labels(self):
+        a = Pattern(2, [(0, 1)], labels=[1, 1])
+        b = Pattern(2, [(0, 1)], labels=[1, 2])
+        assert a != b
+
+    def test_repr_roundtrip_info(self):
+        p = Pattern(3, [(0, 1)], anti_edges=[(1, 2)], labels=[1, 2, 3])
+        text = repr(p)
+        assert "anti" in text and "labels" in text
+
+    def test_usable_in_sets(self):
+        s = {Pattern.clique(3), Pattern.clique(3), Pattern.path(3)}
+        assert len(s) == 2

@@ -1,0 +1,167 @@
+"""Tests for the fluent pattern-programming front-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.programs import PatternProgram
+from repro.core import atlas
+from repro.core.pattern import Pattern
+from repro.engines.bigjoin.engine import BigJoinEngine
+
+from .oracle import brute_force_count, brute_force_mni
+
+
+class TestTerminalOps:
+    def test_count(self, small_graph):
+        counts = PatternProgram.on(small_graph).match(atlas.TRIANGLE).count()
+        assert counts[atlas.TRIANGLE] == brute_force_count(
+            small_graph, atlas.TRIANGLE
+        )
+
+    def test_count_many(self, small_graph):
+        queries = list(atlas.motif_patterns(4))
+        counts = PatternProgram.on(small_graph).match(queries).count()
+        for q in queries:
+            assert counts[q] == brute_force_count(small_graph, q)
+
+    def test_exists(self, small_graph, sparse_graph):
+        assert PatternProgram.on(small_graph).match(atlas.TRIANGLE).exists()[
+            atlas.TRIANGLE
+        ]
+        assert not PatternProgram.on(sparse_graph).match(atlas.FIVE_CLIQUE).exists()[
+            atlas.FIVE_CLIQUE
+        ]
+
+    def test_mni(self, small_graph):
+        tables = PatternProgram.on(small_graph).match(atlas.FOUR_PATH).mni()
+        assert tables[atlas.FOUR_PATH] == brute_force_mni(
+            small_graph, atlas.FOUR_PATH
+        )
+
+    def test_collect(self, tiny_graph):
+        matches = PatternProgram.on(tiny_graph).match(atlas.TRIANGLE).collect()
+        assert len(matches[atlas.TRIANGLE]) == brute_force_count(
+            tiny_graph, atlas.TRIANGLE
+        )
+        for m in matches[atlas.TRIANGLE]:
+            for u, v in atlas.TRIANGLE.edges:
+                assert tiny_graph.has_edge(m[u], m[v])
+
+    def test_for_each(self, tiny_graph):
+        seen = []
+        PatternProgram.on(tiny_graph).match(atlas.TRIANGLE).for_each(
+            lambda p, m: seen.append(m)
+        )
+        assert len(seen) == brute_force_count(tiny_graph, atlas.TRIANGLE)
+
+
+class TestFilters:
+    def test_filtered_count(self, small_graph):
+        program = (
+            PatternProgram.on(small_graph)
+            .match(atlas.TRIANGLE)
+            .filter(lambda p, m: min(m) < 5)
+        )
+        counts = program.count()
+        expected = sum(
+            1
+            for m in PatternProgram.on(small_graph).match(atlas.TRIANGLE).collect()[
+                atlas.TRIANGLE
+            ]
+            if min(m) < 5
+        )
+        assert counts[atlas.TRIANGLE] == expected
+
+    def test_filters_chain_conjunctively(self, small_graph):
+        counts = (
+            PatternProgram.on(small_graph)
+            .match(atlas.TRIANGLE)
+            .filter(lambda p, m: min(m) < 10)
+            .filter(lambda p, m: max(m) > 15)
+            .count()
+        )
+        collected = PatternProgram.on(small_graph).match(atlas.TRIANGLE).collect()
+        expected = sum(
+            1 for m in collected[atlas.TRIANGLE] if min(m) < 10 and max(m) > 15
+        )
+        assert counts[atlas.TRIANGLE] == expected
+
+    def test_filtered_exists(self, small_graph):
+        exists = (
+            PatternProgram.on(small_graph)
+            .match(atlas.TRIANGLE)
+            .filter(lambda p, m: False)
+            .exists()
+        )
+        assert exists[atlas.TRIANGLE] is False
+
+    def test_mni_rejects_filters(self, small_graph):
+        with pytest.raises(ValueError):
+            PatternProgram.on(small_graph).match(atlas.TRIANGLE).filter(
+                lambda p, m: True
+            ).mni()
+
+
+class TestMapReduce:
+    def test_degree_sum(self, small_graph):
+        """Sum of matched hub degrees — an aggregation UDF."""
+        star = atlas.FOUR_STAR
+        totals = (
+            PatternProgram.on(small_graph)
+            .match(star)
+            .map(lambda p, m: small_graph.degree(m[0]))
+            .reduce(lambda a, b: a + b, zero=0)
+        )
+        collected = PatternProgram.on(small_graph).match(star).collect()[star]
+        assert totals[star] == sum(small_graph.degree(m[0]) for m in collected)
+
+    def test_map_collect(self, tiny_graph):
+        values = (
+            PatternProgram.on(tiny_graph)
+            .match(atlas.TRIANGLE)
+            .map(lambda p, m: frozenset(m))
+            .collect()
+        )
+        assert frozenset({0, 1, 2}) in values[atlas.TRIANGLE]
+
+    def test_max_reduce(self, small_graph):
+        best = (
+            PatternProgram.on(small_graph)
+            .match(atlas.TRIANGLE)
+            .map(lambda p, m: max(m))
+            .reduce(max, zero=-1)
+        )
+        assert best[atlas.TRIANGLE] >= 0
+
+
+class TestConfiguration:
+    def test_engine_override(self, small_graph):
+        counts = (
+            PatternProgram.on(small_graph)
+            .match(atlas.FOUR_CYCLE.vertex_induced())
+            .using(BigJoinEngine())
+            .count()
+        )
+        assert counts[atlas.FOUR_CYCLE.vertex_induced()] == brute_force_count(
+            small_graph, atlas.FOUR_CYCLE.vertex_induced()
+        )
+
+    def test_morphing_toggle_same_results(self, small_graph):
+        queries = list(atlas.motif_patterns(3))
+        on = PatternProgram.on(small_graph).match(queries).morphing(True).count()
+        off = PatternProgram.on(small_graph).match(queries).morphing(False).count()
+        assert on == off
+
+    def test_empty_program(self, small_graph):
+        assert PatternProgram.on(small_graph).count() == {}
+        assert PatternProgram.on(small_graph).collect() == {}
+
+    def test_match_accumulates(self, small_graph):
+        program = (
+            PatternProgram.on(small_graph)
+            .match(atlas.TRIANGLE)
+            .match([Pattern.path(3)])
+        )
+        counts = program.count()
+        assert len(counts) == 2

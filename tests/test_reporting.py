@@ -1,0 +1,82 @@
+"""Tests for benchmark reporting (charts, tables) and plan description output."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import breakdown_chart, comparison_table, speedup_chart
+from repro.core.atlas import CHORDAL_FOUR_CYCLE, FOUR_CYCLE, FOUR_STAR
+from repro.engines.plan import ExplorationPlan
+
+
+class TestSpeedupChart:
+    def test_rows_render(self):
+        chart = speedup_chart(
+            [("4-MC/MI", 2.5), ("3-MC/MI", 1.6), ("pV1", 0.9)], title="Fig 12a"
+        )
+        assert "Fig 12a" in chart
+        assert "2.50x" in chart and "0.90x" in chart
+        assert "1.0x" in chart  # parity tick legend
+
+    def test_bars_monotone_in_speedup(self):
+        chart = speedup_chart([("big", 4.0), ("small", 1.0)])
+        lines = chart.splitlines()
+        big_bar = lines[0].count("█")
+        small_bar = lines[1].count("█")
+        assert big_bar > small_bar
+
+    def test_empty(self):
+        assert "(no rows)" in speedup_chart([], title="x")
+
+
+class TestBreakdownChart:
+    def test_categories_fill(self):
+        chart = breakdown_chart(
+            [
+                ("FSM", {"setops": 20.0, "udf": 70.0, "other": 10.0, "total": 5.0}),
+                ("SC", {"setops": 90.0, "other": 10.0, "total": 1.0}),
+            ]
+        )
+        assert "legend" in chart
+        assert "▒" in chart  # UDF fill appears for FSM
+        assert "5.00s" in chart
+
+    def test_empty(self):
+        assert breakdown_chart([]) == "(no rows)"
+
+
+class TestComparisonTable:
+    def test_alignment(self):
+        table = comparison_table(
+            ["workload", "speedup"], [["4-MC", 2.5], ["longer-name", 1.0]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("workload")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty(self):
+        assert comparison_table(["a", "b"], []) == "a,b"
+
+
+class TestPlanDescribe:
+    def test_star_plan(self):
+        text = ExplorationPlan.build(FOUR_STAR).describe()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("← V")
+        assert "N(v0)" in lines[1]
+        assert "> v1" in lines[2] or "< v" in lines[2]  # symmetry bounds
+
+    def test_vertex_induced_shows_differences(self):
+        text = ExplorationPlan.build(FOUR_CYCLE.vertex_induced()).describe()
+        assert "∖ N(" in text
+
+    def test_intersections_shown(self):
+        text = ExplorationPlan.build(CHORDAL_FOUR_CYCLE).describe()
+        assert "∩" in text
+
+    def test_labels_shown(self):
+        from repro.core.pattern import Pattern
+
+        p = Pattern.path(3, labels=[1, 2, 1])
+        text = ExplorationPlan.build(p).describe()
+        assert "label=" in text

@@ -1,0 +1,205 @@
+"""Tests for Algorithm 1 (alternative pattern set selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import atlas
+from repro.core.aggregation import CountAggregation, MNIAggregation
+from repro.core.costmodel import CostModel, EngineCostProfile, GraphModel
+from repro.core.equations import item_of, normalize_item, solve_query
+from repro.core.generation import skeleton, superpattern_closure
+from repro.core.pattern import Pattern
+from repro.core.sdag import EDGE_INDUCED, VERTEX_INDUCED
+from repro.core.selection import legal_variants, select_alternative_patterns
+from repro.graph.generators import power_law_cluster
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_cluster(200, 5, 0.5, seed=2, name="sel")
+
+
+@pytest.fixture(scope="module")
+def count_model(graph):
+    return CostModel.for_graph(graph, aggregation=CountAggregation())
+
+
+class TestLegality:
+    def test_counting_allows_both_variants(self):
+        assert set(legal_variants(CountAggregation())) == {
+            EDGE_INDUCED,
+            VERTEX_INDUCED,
+        }
+
+    def test_mni_restricted_to_vertex_induced(self):
+        assert legal_variants(MNIAggregation()) == (VERTEX_INDUCED,)
+
+    def test_mni_vertex_query_never_morphed(self, count_model, graph):
+        agg = MNIAggregation()
+        cm = CostModel.for_graph(graph, aggregation=agg)
+        query = atlas.FOUR_CYCLE.vertex_induced()
+        result = select_alternative_patterns([query], cm, agg)
+        assert not result.morphed[query]
+        assert item_of(query) in result.measured
+
+    def test_mni_alternatives_all_vertex_induced(self, graph):
+        agg = MNIAggregation()
+        cm = CostModel.for_graph(graph, aggregation=agg)
+        query = atlas.FOUR_STAR  # edge-induced, heavy UDF -> should morph
+        result = select_alternative_patterns([query], cm, agg)
+        if result.morphed[query]:
+            for skel, variant in result.measured:
+                assert variant == VERTEX_INDUCED or skel.is_clique
+
+
+class TestDerivability:
+    """Whatever Algorithm 1 returns, every query must be reconstructible."""
+
+    @pytest.mark.parametrize(
+        "queries",
+        [
+            [atlas.FOUR_CYCLE.vertex_induced()],
+            [atlas.FOUR_STAR.vertex_induced(), atlas.FOUR_PATH.vertex_induced()],
+            list(atlas.motif_patterns(4)),
+            [atlas.TAILED_TRIANGLE, atlas.FOUR_CYCLE],
+        ],
+    )
+    def test_counting_queries_solvable(self, queries, count_model):
+        result = select_alternative_patterns(queries, count_model)
+        for q in queries:
+            solve_query(item_of(q), result.measured)  # must not raise
+
+    def test_mni_queries_covered(self, graph):
+        agg = MNIAggregation()
+        cm = CostModel.for_graph(graph, aggregation=agg)
+        queries = [atlas.FOUR_STAR, atlas.FOUR_PATH]
+        result = select_alternative_patterns(queries, cm, agg)
+        for q in queries:
+            if result.morphed[q]:
+                for sup in superpattern_closure(skeleton(q)):
+                    assert normalize_item(sup, VERTEX_INDUCED) in result.measured
+
+
+class TestSelectionBehaviour:
+    def test_motif_counting_morphs_to_edge_induced(self, count_model):
+        """The Section 7.1 signature decision: V-motifs -> E variants."""
+        queries = list(atlas.motif_patterns(4))
+        result = select_alternative_patterns(queries, count_model)
+        assert all(result.morphed[q] or q.is_clique for q in queries)
+        variants = {v for _s, v in result.measured}
+        assert variants == {EDGE_INDUCED}
+        # Best case: no pattern beyond the 6 motifs is measured.
+        assert len(result.measured) == 6
+
+    def test_converges(self, count_model):
+        result = select_alternative_patterns(
+            list(atlas.motif_patterns(4)), count_model
+        )
+        assert result.rounds < 64
+
+    def test_estimated_cost_never_worse(self, count_model):
+        for queries in ([atlas.FOUR_PATH.vertex_induced()], list(atlas.motif_patterns(3))):
+            result = select_alternative_patterns(queries, count_model)
+            assert result.estimated_cost <= result.estimated_query_cost * (1 + 1e-9)
+
+    def test_margin_one_is_paper_greedy(self, count_model):
+        """margin=1.0 accepts any predicted improvement."""
+        result = select_alternative_patterns(
+            [atlas.FOUR_PATH.vertex_induced()], count_model, margin=1.0
+        )
+        assert result.measured
+
+    def test_margin_zero_blocks_everything(self, count_model):
+        queries = list(atlas.motif_patterns(4))
+        result = select_alternative_patterns(queries, count_model, margin=0.0)
+        assert not any(result.morphed.values())
+        assert result.measured == frozenset(item_of(q) for q in queries)
+
+    def test_no_dead_patterns(self, count_model):
+        """Pruning: every measured item appears in some query's solve."""
+        queries = [atlas.FOUR_CYCLE.vertex_induced(), atlas.FOUR_STAR.vertex_induced()]
+        result = select_alternative_patterns(queries, count_model)
+        used = set()
+        for q in queries:
+            used.update(solve_query(item_of(q), result.measured))
+        assert used == set(result.measured)
+
+
+class TestSyntheticCosts:
+    """Drive Algorithm 1 with hand-crafted costs (appendix-style tables)."""
+
+    class StubModel(CostModel):
+        def __init__(self, table):
+            super().__init__(
+                GraphModel(
+                    num_vertices=100, edge_prob=0.05, avg_degree=5,
+                    biased_degree=10, closure_prob=0.2, high_degree_threshold=10,
+                ),
+                EngineCostProfile(),
+                CountAggregation(),
+            )
+            self.table = table
+
+        def pattern_cost(self, skel: Pattern, variant: str) -> float:
+            name = atlas.pattern_name(skel)
+            if skel.is_clique:
+                variant = EDGE_INDUCED
+            return self.table[(name, variant)]
+
+    def test_appendix_a2_style_decision(self):
+        """Cheap E-closure beats an expensive V query -> morph happens."""
+        table = {
+            ("C4", "E"): 10.0, ("C4", "V"): 120.0,
+            ("C4C", "E"): 5.0, ("C4C", "V"): 90.0,
+            ("4CL", "E"): 5.0,
+        }
+        result = select_alternative_patterns(
+            [atlas.FOUR_CYCLE.vertex_induced()], self.StubModel(table), margin=1.0
+        )
+        assert result.morphed[atlas.FOUR_CYCLE.vertex_induced()]
+        assert result.measured == frozenset(
+            {
+                normalize_item(atlas.FOUR_CYCLE, EDGE_INDUCED),
+                normalize_item(atlas.CHORDAL_FOUR_CYCLE, EDGE_INDUCED),
+                normalize_item(atlas.FOUR_CLIQUE, EDGE_INDUCED),
+            }
+        )
+
+    def test_expensive_closure_blocks_morph(self):
+        table = {
+            ("C4", "E"): 100.0, ("C4", "V"): 20.0,
+            ("C4C", "E"): 80.0, ("C4C", "V"): 70.0,
+            ("4CL", "E"): 50.0,
+        }
+        query = atlas.FOUR_CYCLE.vertex_induced()
+        result = select_alternative_patterns([query], self.StubModel(table), margin=1.0)
+        assert not result.morphed[query]
+        assert result.measured == frozenset({item_of(query)})
+
+    def test_overlap_makes_combined_morph_profitable(self):
+        """The Section 5 motivating case: two patterns individually not
+        worth morphing, but their alternative sets overlap."""
+        table = {
+            ("C4", "E"): 40.0, ("C4", "V"): 50.0,
+            ("TT", "E"): 40.0, ("TT", "V"): 50.0,
+            ("C4C", "E"): 30.0, ("C4C", "V"): 100.0,
+            ("4CL", "E"): 25.0,
+        }
+        # Individually: closure(C4) = 40+30+25 = 95 > 50 -> no morph.
+        single = select_alternative_patterns(
+            [atlas.FOUR_CYCLE.vertex_induced()], self.StubModel(table), margin=1.0
+        )
+        assert not single.morphed[atlas.FOUR_CYCLE.vertex_induced()]
+        # Together: closure(C4) ∪ closure(TT) = 40+40+30+25 = 135 > 100?
+        # Both closures share C4C and 4CL, so the pair costs 135 vs 100...
+        # still unprofitable; shrink the shared-superpattern costs.
+        table2 = dict(table)
+        table2[("C4C", "E")] = 5.0
+        table2[("4CL", "E")] = 5.0
+        pair = select_alternative_patterns(
+            [atlas.FOUR_CYCLE.vertex_induced(), atlas.TAILED_TRIANGLE.vertex_induced()],
+            self.StubModel(table2),
+            margin=1.0,
+        )
+        assert all(pair.morphed.values())

@@ -1,0 +1,147 @@
+"""Tests for the SumPA-style pattern-abstraction engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import atlas
+from repro.core.canonical import are_isomorphic
+from repro.core.pattern import Pattern
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.engines.sumpa.abstraction import (
+    connected_subpatterns,
+    embedding_of,
+    maximum_common_subpattern,
+)
+from repro.engines.sumpa.engine import SumPAEngine
+
+from .oracle import brute_force_count
+from .strategies import connected_skeletons, data_graphs
+
+
+class TestSubpatternEnumeration:
+    def test_triangle_subpatterns(self):
+        subs = connected_subpatterns(atlas.TRIANGLE, 3)
+        # vertex, edge, path-3, triangle
+        assert len(subs) == 4
+
+    def test_all_connected(self):
+        for sub in connected_subpatterns(atlas.CHORDAL_FOUR_CYCLE, 4):
+            assert sub.is_connected or sub.n == 1
+
+    def test_labels_preserved(self):
+        p = Pattern.path(3, labels=[1, 2, 1])
+        subs = connected_subpatterns(p, 2)
+        labels = {tuple(sorted(s.labels)) for s in subs if s.n == 2 and s.labels}
+        assert (1, 2) in labels
+
+
+class TestMaximumCommonSubpattern:
+    def test_tt_c4c_clique(self):
+        """TT embeds into C4C and K4, so TT itself is the abstraction."""
+        mcs = maximum_common_subpattern(
+            [atlas.TAILED_TRIANGLE, atlas.CHORDAL_FOUR_CYCLE, atlas.FOUR_CLIQUE]
+        )
+        assert are_isomorphic(mcs, atlas.TAILED_TRIANGLE)
+
+    def test_star_and_path(self):
+        """4S ∩ 4P: the 3-path is the largest common piece."""
+        mcs = maximum_common_subpattern([atlas.FOUR_STAR, atlas.FOUR_PATH])
+        assert are_isomorphic(mcs, atlas.THREE_PATH)
+
+    def test_identical_patterns(self):
+        mcs = maximum_common_subpattern([atlas.FOUR_CYCLE, atlas.FOUR_CYCLE])
+        assert are_isomorphic(mcs, atlas.FOUR_CYCLE)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            maximum_common_subpattern([])
+
+    def test_embedding_is_edge_preserving(self):
+        mcs = maximum_common_subpattern([atlas.TAILED_TRIANGLE, atlas.FOUR_CLIQUE])
+        phi = embedding_of(mcs, atlas.FOUR_CLIQUE)
+        for u, v in mcs.edges:
+            assert atlas.FOUR_CLIQUE.has_edge(phi[u], phi[v])
+
+    def test_embedding_into_renumbered_pattern(self):
+        shuffled = atlas.CHORDAL_FOUR_CYCLE.relabel([2, 0, 3, 1])
+        phi = embedding_of(atlas.TAILED_TRIANGLE, shuffled)
+        for u, v in atlas.TAILED_TRIANGLE.edges:
+            assert shuffled.has_edge(phi[u], phi[v])
+
+    def test_no_embedding_raises(self):
+        with pytest.raises(ValueError):
+            embedding_of(atlas.FOUR_CLIQUE, atlas.FOUR_CYCLE)
+
+
+class TestSumPACounting:
+    def test_matches_oracle_shared_triangle(self, small_graph):
+        patterns = [atlas.TAILED_TRIANGLE, atlas.CHORDAL_FOUR_CYCLE, atlas.FOUR_CLIQUE]
+        counts = SumPAEngine().count_set(small_graph, patterns)
+        for p in patterns:
+            assert counts[p] == brute_force_count(small_graph, p)
+
+    def test_matches_oracle_all_four_patterns(self, small_graph):
+        patterns = list(atlas.all_connected_patterns(4))
+        counts = SumPAEngine().count_set(small_graph, patterns)
+        reference = PeregrineEngine().count_set(small_graph, patterns)
+        assert counts == reference
+
+    def test_abstraction_recorded(self, small_graph):
+        engine = SumPAEngine()
+        engine.count_set(
+            small_graph, [atlas.TAILED_TRIANGLE, atlas.FOUR_CLIQUE]
+        )
+        assert are_isomorphic(engine.last_abstraction, atlas.TAILED_TRIANGLE)
+
+    def test_vertex_induced_falls_back(self, small_graph):
+        patterns = [
+            atlas.FOUR_CYCLE.vertex_induced(),
+            atlas.FOUR_STAR.vertex_induced(),
+        ]
+        counts = SumPAEngine().count_set(small_graph, patterns)
+        for p in patterns:
+            assert counts[p] == brute_force_count(small_graph, p)
+
+    def test_mixed_variants(self, small_graph):
+        patterns = [
+            atlas.TAILED_TRIANGLE,
+            atlas.FOUR_CLIQUE,
+            atlas.FOUR_CYCLE.vertex_induced(),
+        ]
+        counts = SumPAEngine().count_set(small_graph, patterns)
+        for p in patterns:
+            assert counts[p] == brute_force_count(small_graph, p)
+
+    def test_single_pattern_falls_back(self, small_graph):
+        counts = SumPAEngine().count_set(small_graph, [atlas.FOUR_CYCLE])
+        assert counts[atlas.FOUR_CYCLE] == brute_force_count(
+            small_graph, atlas.FOUR_CYCLE
+        )
+
+    def test_labeled_patterns(self, small_labeled_graph):
+        a = Pattern(3, [(0, 1), (1, 2)], labels=[0, 0, 0])
+        b = Pattern(3, [(0, 1), (1, 2), (0, 2)], labels=[0, 0, 0])
+        counts = SumPAEngine().count_set(small_labeled_graph, [a, b])
+        assert counts[a] == brute_force_count(small_labeled_graph, a)
+        assert counts[b] == brute_force_count(small_labeled_graph, b)
+
+    @given(data_graphs(min_n=6, max_n=11), connected_skeletons(max_n=4),
+           connected_skeletons(max_n=4))
+    @settings(max_examples=15, deadline=None)
+    def test_random_pairs(self, graph, a, b):
+        a, b = a.edge_induced(), b.edge_induced()
+        counts = SumPAEngine().count_set(graph, [a, b])
+        assert counts[a] == brute_force_count(graph, a)
+        if b != a:
+            assert counts[b] == brute_force_count(graph, b)
+
+    def test_morphing_session_compatible(self, small_graph):
+        """SumPA slots into MorphingSession like any other engine."""
+        from repro.morph.session import compare_baseline_and_morphed
+
+        base, morphed = compare_baseline_and_morphed(
+            SumPAEngine, small_graph, list(atlas.motif_patterns(3))
+        )
+        assert base.results == morphed.results
