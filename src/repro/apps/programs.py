@@ -55,6 +55,8 @@ class PatternProgram:
         self._engine: MiningEngine | None = None
         self._morph = True
         self._margin = 0.6
+        self._workers = 1
+        self._executor = None
 
     # -- construction -----------------------------------------------------
 
@@ -83,6 +85,18 @@ class PatternProgram:
         self._morph = enabled
         if margin is not None:
             self._margin = margin
+        return self
+
+    def parallel(self, workers: int, executor=None) -> "PatternProgram":
+        """Shard-parallel matching for the terminal operations.
+
+        ``workers > 1`` fans each pattern over degree-balanced
+        root-vertex shards; results are merged deterministically and are
+        identical to the serial run. ``executor`` picks the transport
+        (``"process"`` default, ``"serial"`` for in-process sharding).
+        """
+        self._workers = workers
+        self._executor = executor
         return self
 
     # -- terminal operations ------------------------------------------------
@@ -151,6 +165,8 @@ class PatternProgram:
             aggregation=aggregation,
             enabled=self._morph,
             margin=self._margin,
+            workers=self._workers,
+            executor=self._executor,
         )
 
     def _stream(self, consumer: Callable[[Pattern, Match], None]) -> None:
@@ -168,6 +184,8 @@ class PatternProgram:
             self._engine or PeregrineEngine(),
             enabled=self._morph,
             margin=self._margin,
+            workers=self._workers,
+            executor=self._executor,
         )
         session.run_streaming(self._graph, self._patterns, process)
 

@@ -1,8 +1,8 @@
 """Benchmark harness: run/compare workloads and report figure rows.
 
 Mirrors the paper artifact's experiment scripts: every experiment emits
-CSV-style rows ``pattern, graph, morphed_time, baseline_time, speedup``
-(plus counter columns where the figure reports counters), and every row
+CSV-style rows ``pattern, graph, morphed_time, baseline_time, speedup,
+workers`` (plus counter columns where the figure reports counters), and every row
 asserts baseline == morphed results — the correctness half of claim C1.
 """
 
@@ -31,6 +31,7 @@ class ComparisonRow:
     morphed_stats: EngineStats
     results_equal: bool
     morphed_patterns: int
+    workers: int = 1
 
     @property
     def speedup(self) -> float:
@@ -58,7 +59,7 @@ class ComparisonRow:
     def csv(self) -> str:
         return (
             f"{self.workload},{self.graph},{self.morphed_seconds:.4f},"
-            f"{self.baseline_seconds:.4f},{self.speedup:.2f}"
+            f"{self.baseline_seconds:.4f},{self.speedup:.2f},{self.workers}"
         )
 
 
@@ -68,13 +69,18 @@ def compare_workload(
     patterns: Sequence[Pattern],
     workload: str,
     aggregation: Aggregation | None = None,
+    workers: int = 1,
 ) -> ComparisonRow:
-    """Run one workload with and without morphing; assert equal results."""
+    """Run one workload with and without morphing; assert equal results.
+
+    ``workers > 1`` shard-parallelizes both sessions; the comparison
+    stays apples-to-apples and the row records the worker count.
+    """
     baseline_session = MorphingSession(
-        engine_factory(), aggregation=aggregation, enabled=False
+        engine_factory(), aggregation=aggregation, enabled=False, workers=workers
     )
     morphed_session = MorphingSession(
-        engine_factory(), aggregation=aggregation, enabled=True
+        engine_factory(), aggregation=aggregation, enabled=True, workers=workers
     )
     baseline = baseline_session.run(graph, list(patterns))
     morphed = morphed_session.run(graph, list(patterns))
@@ -92,6 +98,7 @@ def compare_workload(
         morphed_stats=morphed.stats,
         results_equal=equal,
         morphed_patterns=morphed_count,
+        workers=workers,
     )
 
 
@@ -117,7 +124,7 @@ class FigureReport:
 
     def render(self) -> str:
         lines = [f"# {self.figure}: {self.description}"]
-        header = "workload,graph,morphed_s,baseline_s,speedup"
+        header = "workload,graph,morphed_s,baseline_s,speedup,workers"
         if self.extra_columns:
             header += "," + ",".join(self.extra_columns)
         lines.append(header)

@@ -97,6 +97,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    """Only on subcommands whose pipeline honors shard parallelism."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard-parallel worker processes (1 = serial, the default)",
+    )
+
+
 def cmd_datasets(_args) -> int:
     print(f"{'code':5s} {'name':11s} {'|V|':>7s} {'|E|':>8s} {'labels':>7s} {'maxdeg':>7s} {'avgdeg':>7s}")
     for row in datasets.summary_table():
@@ -112,7 +122,9 @@ def cmd_datasets(_args) -> int:
 def cmd_count(args) -> int:
     graph = resolve_graph(args)
     patterns = [resolve_pattern(p) for p in args.pattern]
-    session = MorphingSession(ENGINES[args.engine](), enabled=not args.no_morph)
+    session = MorphingSession(
+        ENGINES[args.engine](), enabled=not args.no_morph, workers=args.workers
+    )
     result = session.run(graph, patterns)
     for p in patterns:
         print(f"{pattern_name(p):10s} {result.results[p]}")
@@ -122,7 +134,9 @@ def cmd_count(args) -> int:
 
 def cmd_motifs(args) -> int:
     graph = resolve_graph(args)
-    session = MorphingSession(ENGINES[args.engine](), enabled=not args.no_morph)
+    session = MorphingSession(
+        ENGINES[args.engine](), enabled=not args.no_morph, workers=args.workers
+    )
     result = session.run(graph, list(motif_patterns(args.size)))
     for p, c in sorted(result.results.items(), key=lambda kv: -kv[1]):
         print(f"{pattern_name(p):10s} {c}")
@@ -140,6 +154,7 @@ def cmd_fsm(args) -> int:
         max_edges=args.max_edges,
         engine=ENGINES[args.engine](),
         morph=not args.no_morph,
+        workers=args.workers,
     )
     for p, support in sorted(result.frequent.items(), key=lambda kv: -kv[1]):
         labels = "/".join(str(p.label(v)) for v in range(p.n))
@@ -211,16 +226,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     count = sub.add_parser("count", help="count pattern matches")
     _add_common(count)
+    _add_workers(count)
     count.add_argument(
         "--pattern", action="append", required=True, help="repeatable"
     )
 
     motifs = sub.add_parser("motifs", help="motif counting")
     _add_common(motifs)
+    _add_workers(motifs)
     motifs.add_argument("--size", type=int, default=4, choices=(3, 4, 5))
 
     fsm = sub.add_parser("fsm", help="frequent subgraph mining")
     _add_common(fsm)
+    _add_workers(fsm)
     fsm.add_argument("--support", type=int, required=True)
     fsm.add_argument("--max-edges", type=int, default=3)
 

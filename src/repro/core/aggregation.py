@@ -52,6 +52,17 @@ class Aggregation(ABC):
     def combine(self, a: Any, b: Any) -> Any:
         """The ``⊕`` operator. Must be commutative and associative."""
 
+    def merge(self, a: Any, b: Any) -> Any:
+        """Join two *partial* values from disjoint shards of one run.
+
+        The shard-parallel execution layer folds per-shard values in
+        shard order, so ``merge`` may rely on ``a`` preceding ``b`` in
+        the root-vertex order — which is how match lists stay in the
+        exact serial enumeration order. For order-insensitive
+        aggregations this is just ``combine``.
+        """
+        return self.combine(a, b)
+
     @abstractmethod
     def permute(self, value: Any, f: Sequence[int]) -> Any:
         """The ``∘*`` operator: adjust a value for the remapping ``f``.
@@ -114,6 +125,10 @@ class CountAggregation(Aggregation):
     def combine(self, a: int, b: int) -> int:
         return a + b
 
+    def merge(self, a: int, b: int) -> int:
+        """Shard counts add."""
+        return a + b
+
     def permute(self, value: int, f: Sequence[int]) -> int:
         return value
 
@@ -149,6 +164,10 @@ class MNIAggregation(Aggregation):
         if len(a) != len(b):
             raise ValueError("cannot join MNI tables of different widths")
         return tuple(ca | cb for ca, cb in zip(a, b))
+
+    def merge(self, a, b):
+        """Shard tables union per node-image column (same as ``⊕``)."""
+        return self.combine(a, b)
 
     def permute(self, value, f: Sequence[int]):
         if not value:
@@ -200,6 +219,16 @@ class MatchListAggregation(Aggregation):
     def combine(self, a, b):
         return a + b
 
+    def merge(self, a, b):
+        """Shard lists concatenate in shard order.
+
+        Shards are ascending root-vertex windows, so concatenating their
+        match lists in shard order reproduces the serial enumeration
+        order exactly — parallel enumeration output is byte-identical to
+        the serial kernel's.
+        """
+        return a + b
+
     def permute(self, value, f: Sequence[int]):
         return [tuple(m[f[u]] for u in range(len(f))) for m in value]
 
@@ -218,6 +247,10 @@ class ExistenceAggregation(Aggregation):
         return True
 
     def combine(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def merge(self, a: bool, b: bool) -> bool:
+        """Any shard finding a match settles existence."""
         return a or b
 
     def permute(self, value: bool, f: Sequence[int]) -> bool:

@@ -27,7 +27,7 @@ _COMPILED_CACHE: dict[tuple, Callable] = {}
 def compiled_source(plan: ExplorationPlan) -> str:
     """The generated Python source for a plan's matching kernel."""
     lines: list[str] = [
-        "def _kernel(graph, stats, on_match):",
+        "def _kernel(graph, stats, on_match, root_window=None, should_stop=None):",
         "    setops = stats.setops",
         "    count = 0",
     ]
@@ -62,19 +62,30 @@ def compiled_source(plan: ExplorationPlan) -> str:
         if level.non_adjacent:
             exclusions = ", ".join(f"v{j}" for j in level.non_adjacent)
             emit(f"{cand} = exclude({cand}, [{exclusions}])", pad)
+        if i == 0:
+            # Shard restriction: clip the root loop to the task's window.
+            emit("if root_window is not None:", pad)
+            emit(f"    {cand} = clip_to_window({cand}, root_window)", pad)
 
+        poll = "if should_stop is not None and should_stop(): raise StopExploration()"
         if i == depth - 1:
             # Innermost level: fast-path count or per-match emission.
             emit("if on_match is None:", pad)
+            if i == 0:
+                emit(f"    {poll}", pad)
             emit(f"    count += len({cand})", pad)
             emit("else:", pad)
             emit(f"    for v{i} in {cand}.tolist():", pad)
+            if i == 0:
+                emit(f"        {poll}", pad)
             emit("        stats.materialized += 1", pad)
             match_tuple = _match_tuple(plan)
             emit(f"        on_match({match_tuple})", pad)
             emit("        count += 1", pad)
         else:
             emit(f"for v{i} in {cand}.tolist():", pad)
+            if i == 0:
+                emit(f"    {poll}", pad)
     lines.append("    return count")
     return "\n".join(lines)
 
@@ -124,7 +135,7 @@ def compile_plan(plan: ExplorationPlan) -> Callable:
     if kernel is None:
         source = compiled_source(plan)
         namespace: dict = {}
-        from repro.engines.base import _EMPTY
+        from repro.engines.base import _EMPTY, clip_to_window
         from repro.engines.setops import (
             bound_above,
             bound_below,
@@ -141,6 +152,8 @@ def compile_plan(plan: ExplorationPlan) -> Callable:
                 "bound_above": bound_above,
                 "bound_below": bound_below,
                 "exclude": exclude,
+                "clip_to_window": clip_to_window,
+                "StopExploration": StopExploration,
                 "EMPTY": _EMPTY,
             },
             namespace,
@@ -155,13 +168,15 @@ def run_compiled(
     plan: ExplorationPlan,
     stats: EngineStats,
     on_match=None,
+    root_window=None,
+    should_stop=None,
 ) -> int:
     """Drop-in replacement for :func:`repro.engines.base.run_plan`."""
     kernel = compile_plan(plan)
     start = time.perf_counter()
     stopped_early = False
     try:
-        count = kernel(graph, stats, on_match)
+        count = kernel(graph, stats, on_match, root_window, should_stop)
     except StopExploration:
         stopped_early = True
         count = 0

@@ -33,9 +33,16 @@ class AutoZeroEngine(MiningEngine):
     name = "autozero"
     native_anti_edges = True
 
-    def _execute(self, graph, plan, on_match=None):
+    def _execute(self, graph, plan, on_match=None, root_window=None, should_stop=None):
         """Single-pattern paths run *compiled* kernels (AutoMine-style)."""
-        return run_compiled(graph, plan, self.stats, on_match)
+        return run_compiled(
+            graph,
+            plan,
+            self.stats,
+            on_match,
+            root_window=root_window,
+            should_stop=should_stop,
+        )
 
     def count_set(
         self, graph: DataGraph, patterns: Iterable[Pattern]

@@ -12,6 +12,7 @@ branch misses (Figure 14c/d).
 
 from __future__ import annotations
 
+import os
 import time
 from abc import ABC
 from dataclasses import dataclass, field
@@ -46,6 +47,19 @@ class StopExploration(Exception):
     """
 
 
+#: Debug mode for stats merging: when true, merging shard/run stats
+#: asserts that section timers never exceed wall time instead of letting
+#: ``other_seconds`` silently clamp the negative residual to zero (which
+#: would hide double-counted section timers). Enable with the
+#: ``REPRO_STRICT_STATS`` environment variable or by setting the module
+#: attribute directly in tests.
+STRICT_STATS = os.environ.get("REPRO_STRICT_STATS", "0") not in ("", "0")
+
+#: perf_counter noise allowance when comparing summed section timers
+#: against the enclosing wall-time window.
+_TIMER_SLACK = 1e-6
+
+
 @dataclass
 class EngineStats:
     """Instrumentation for one or more matching runs."""
@@ -70,17 +84,40 @@ class EngineStats:
         return self.predictor.misses
 
     @property
+    def section_seconds(self) -> float:
+        """Sum of the instrumented sections (setops + UDF + filter)."""
+        return self.setops.seconds + self.udf_seconds + self.filter_seconds
+
+    @property
     def other_seconds(self) -> float:
         """Residual engine time (exploration machinery / "system time")."""
-        return max(
-            0.0,
-            self.total_seconds
-            - self.setops.seconds
-            - self.udf_seconds
-            - self.filter_seconds,
-        )
+        return max(0.0, self.total_seconds - self.section_seconds)
 
-    def merge(self, other: "EngineStats") -> None:
+    def validate(self) -> None:
+        """Assert internal consistency: sections fit inside wall time.
+
+        Section timers are measured as disjoint sub-intervals of the
+        kernel's wall-time window, so their sum exceeding the total (by
+        more than timer noise) means a section was double-counted — the
+        exact bug the ``other_seconds`` clamp would otherwise hide.
+        """
+        residual = self.total_seconds - self.section_seconds
+        if residual < -_TIMER_SLACK:
+            raise AssertionError(
+                f"section timers exceed total wall time: "
+                f"sections={self.section_seconds:.6f}s "
+                f"total={self.total_seconds:.6f}s"
+            )
+
+    def merge(self, other: "EngineStats", strict: bool | None = None) -> None:
+        """Fold another run's counters in (used for shard merges).
+
+        ``strict`` (default: the module's ``STRICT_STATS`` debug flag)
+        validates both inputs and the merged result.
+        """
+        strict = STRICT_STATS if strict is None else strict
+        if strict:
+            other.validate()
         self.setops.merge(other.setops)
         self.matches += other.matches
         self.materialized += other.materialized
@@ -92,6 +129,8 @@ class EngineStats:
         self.predictor.misses += other.predictor.misses
         self.total_seconds += other.total_seconds
         self.patterns_matched += other.patterns_matched
+        if strict:
+            self.validate()
 
     def breakdown(self) -> dict[str, float]:
         """Figure 4-style time split."""
@@ -146,12 +185,27 @@ def level_candidates(
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
+#: A shard's top-level candidate restriction: a half-open vertex-id
+#: window ``(lo, hi)``. Windows partition the root candidate range, and
+#: every match is rooted at exactly one level-0 vertex, so disjoint
+#: covering windows partition the match set — the invariant the
+#: shard-parallel execution layer rests on.
+RootWindow = tuple[int, int]
+
+
+def clip_to_window(cand: np.ndarray, window: RootWindow) -> np.ndarray:
+    """Restrict a sorted candidate array to vertex ids in ``[lo, hi)``."""
+    lo, hi = window
+    return cand[np.searchsorted(cand, lo) : np.searchsorted(cand, hi)]
+
 
 def run_plan(
     graph: DataGraph,
     plan: ExplorationPlan,
     stats: EngineStats,
     on_match: Callable[[Match], None] | None = None,
+    root_window: RootWindow | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> int:
     """Depth-first interpretation of a plan; returns the match count.
 
@@ -159,6 +213,11 @@ def run_plan(
     the candidate array's length is added without materializing matches
     (the set-optimization Peregrine uses for counting, §3.1). With a
     callback every match is materialized in pattern-vertex order.
+
+    ``root_window`` restricts the level-0 candidates to a vertex-id
+    window (one shard of a parallel run); ``should_stop`` is polled once
+    per root candidate and ends exploration cleanly (the cross-shard
+    cancellation hook for early-terminating aggregations).
     """
     depth = plan.depth
     stack: list[int] = [0] * depth
@@ -166,11 +225,18 @@ def run_plan(
 
     def descend(level_index: int) -> int:
         cand = level_candidates(graph, plan.levels[level_index], stack, stats)
+        poll = level_index == 0 and should_stop is not None
+        if level_index == 0 and root_window is not None:
+            cand = clip_to_window(cand, root_window)
         if level_index == depth - 1:
             if on_match is None:
+                if poll and should_stop():
+                    raise StopExploration()
                 return int(len(cand))
             emitted = 0
             for v in cand.tolist():
+                if poll and should_stop():
+                    raise StopExploration()
                 stack[level_index] = v
                 match = plan.match_to_pattern_order(stack)
                 stats.materialized += 1
@@ -179,6 +245,8 @@ def run_plan(
             return emitted
         total = 0
         for v in cand.tolist():
+            if poll and should_stop():
+                raise StopExploration()
             stack[level_index] = v
             total += descend(level_index + 1)
         return total
@@ -186,17 +254,7 @@ def run_plan(
     start = time.perf_counter()
     stopped_early = False
     try:
-        if depth == 1:
-            cand = level_candidates(graph, plan.levels[0], stack, stats)
-            if on_match is None:
-                count = int(len(cand))
-            else:
-                for v in cand.tolist():
-                    stats.materialized += 1
-                    on_match((v,))
-                    count += 1
-        else:
-            count = descend(0)
+        count = descend(0)
     except StopExploration:
         stopped_early = True
         count = 0  # partial counts were delivered through the callback
@@ -235,9 +293,18 @@ class MiningEngine(ABC):
         graph: DataGraph,
         plan: ExplorationPlan,
         on_match: Callable[[Match], None] | None = None,
+        root_window: RootWindow | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> int:
         """Run one plan; engines may swap the kernel (AutoZero compiles)."""
-        return run_plan(graph, plan, self.stats, on_match)
+        return run_plan(
+            graph,
+            plan,
+            self.stats,
+            on_match,
+            root_window=root_window,
+            should_stop=should_stop,
+        )
 
     # -- filter UDF for non-native anti-edges ------------------------------
 
@@ -275,18 +342,35 @@ class MiningEngine(ABC):
 
     # -- public mining operations ------------------------------------------
 
-    def count(self, graph: DataGraph, pattern: Pattern) -> int:
-        """Number of unique matches of ``pattern`` in ``graph``."""
+    def count(
+        self,
+        graph: DataGraph,
+        pattern: Pattern,
+        *,
+        root_window: RootWindow | None = None,
+        cancel=None,
+    ) -> int:
+        """Number of unique matches of ``pattern`` in ``graph``.
+
+        ``root_window`` restricts counting to matches rooted in one
+        vertex-id shard; ``cancel`` is a cancellation token (``set()`` /
+        ``is_set()``) shared across shards of a parallel run.
+        """
         plan, needs_filter = self._plan_pattern(pattern, graph)
+        should_stop = cancel.is_set if cancel is not None else None
         if not needs_filter:
-            return self._execute(graph, plan)
+            return self._execute(
+                graph, plan, root_window=root_window, should_stop=should_stop
+            )
         holder = [0]
 
         def on_match(match: Match) -> None:
             if self._filter_match(graph, pattern, match):
                 holder[0] += 1
 
-        self._execute(graph, plan, on_match)
+        self._execute(
+            graph, plan, on_match, root_window=root_window, should_stop=should_stop
+        )
         return holder[0]
 
     def count_set(
@@ -296,14 +380,22 @@ class MiningEngine(ABC):
         return {p: self.count(graph, p) for p in patterns}
 
     def explore(
-        self, graph: DataGraph, pattern: Pattern, process: MatchCallback
+        self,
+        graph: DataGraph,
+        pattern: Pattern,
+        process: MatchCallback,
+        *,
+        root_window: RootWindow | None = None,
+        cancel=None,
     ) -> int:
         """Stream every match through ``process``; returns the match count.
 
         ``process`` is the application UDF: each call is timed and counted
-        (the Figure 4a/b bottleneck).
+        (the Figure 4a/b bottleneck). ``root_window``/``cancel`` scope the
+        stream to one shard of a parallel run.
         """
         plan, needs_filter = self._plan_pattern(pattern, graph)
+        should_stop = cancel.is_set if cancel is not None else None
         emitted = [0]
 
         def on_match(match: Match) -> None:
@@ -315,8 +407,50 @@ class MiningEngine(ABC):
             self.stats.udf_seconds += time.perf_counter() - start
             emitted[0] += 1
 
-        self._execute(graph, plan, on_match)
+        self._execute(
+            graph, plan, on_match, root_window=root_window, should_stop=should_stop
+        )
         return emitted[0]
+
+    def aggregate_partial(
+        self,
+        graph: DataGraph,
+        pattern: Pattern,
+        aggregation: Aggregation,
+        *,
+        root_window: RootWindow | None = None,
+        cancel=None,
+    ) -> tuple:
+        """One shard's un-finalized aggregation value.
+
+        Returns ``(value, terminal)`` where ``value`` is the raw fold of
+        this shard's matches (no :meth:`Aggregation.finalize`, which must
+        run once after all shards merge) and ``terminal`` flags early
+        saturation. When the value saturates, ``cancel`` (if given) is
+        set so sibling shards short-circuit.
+        """
+        if isinstance(aggregation, CountAggregation):
+            # Native or filtered counting: no per-match fold needed.
+            return (
+                self.count(graph, pattern, root_window=root_window, cancel=cancel),
+                False,
+            )
+
+        box = [aggregation.zero()]
+        terminal = [False]
+
+        def process(p: Pattern, match: Match) -> None:
+            box[0] = aggregation.combine(box[0], aggregation.from_match(p, match))
+            if aggregation.is_terminal(box[0]):
+                terminal[0] = True
+                if cancel is not None:
+                    cancel.set()
+                raise StopExploration()
+
+        self.explore(
+            graph, pattern, process, root_window=root_window, cancel=cancel
+        )
+        return box[0], terminal[0]
 
     def aggregate(
         self, graph: DataGraph, pattern: Pattern, aggregation: Aggregation
@@ -326,20 +460,46 @@ class MiningEngine(ABC):
         Counting takes the native fast path (no per-match UDF); any other
         aggregation pays one UDF invocation per match.
         """
-        if isinstance(aggregation, CountAggregation) and not self._needs_filter(
-            pattern
-        ):
-            return self.count(graph, pattern)
-        if isinstance(aggregation, CountAggregation):
-            # Filtered counting: the filter is the UDF; counting is free.
-            return self.count(graph, pattern)
+        value, _terminal = self.aggregate_partial(graph, pattern, aggregation)
+        return aggregation.finalize(pattern, value)
 
-        box = [aggregation.zero()]
+    def run(
+        self,
+        graph: DataGraph,
+        pattern: Pattern,
+        aggregation: Aggregation | None = None,
+        *,
+        workers: int = 1,
+        num_shards: int | None = None,
+        executor=None,
+    ):
+        """Mine one pattern end-to-end, optionally shard-parallel.
 
-        def process(p: Pattern, match: Match) -> None:
-            box[0] = aggregation.combine(box[0], aggregation.from_match(p, match))
-            if aggregation.is_terminal(box[0]):
-                raise StopExploration()
+        The default (``workers=1``, no executor) is the unchanged serial
+        path. With ``workers > 1`` the top-level candidate range is split
+        into degree-balanced shards, each shard runs through this
+        engine's kernels, and per-shard results merge deterministically
+        in shard order (:meth:`Aggregation.merge` for values,
+        :meth:`EngineStats.merge` for counters), so parallel runs return
+        byte-identical results to serial ones.
 
-        self.explore(graph, pattern, process)
-        return aggregation.finalize(pattern, box[0])
+        ``executor`` selects the transport: ``"process"`` (default for
+        ``workers > 1``; worker processes via ``ProcessPoolExecutor``),
+        ``"serial"`` (in-process sharding — same split/merge, no
+        processes), or a :class:`repro.engines.execution.ShardExecutor`
+        instance to reuse a warm worker pool across calls.
+        """
+        aggregation = aggregation if aggregation is not None else CountAggregation()
+        if workers <= 1 and executor is None:
+            return self.aggregate(graph, pattern, aggregation)
+        from repro.engines.execution import execute_sharded
+
+        return execute_sharded(
+            self,
+            graph,
+            pattern,
+            aggregation,
+            workers=workers,
+            num_shards=num_shards,
+            executor=executor,
+        )

@@ -38,9 +38,16 @@ class BigJoinEngine(MiningEngine):
         graph: DataGraph,
         plan: ExplorationPlan,
         on_match: Callable[[Match], None] | None,
+        root_window=None,
+        should_stop=None,
     ) -> int:
-        """Level-synchronous join: extend all bindings by one vertex."""
-        from repro.engines.base import StopExploration
+        """Level-synchronous join: extend all bindings by one vertex.
+
+        ``root_window`` clips the level-0 candidates to one shard's
+        vertex-id window; ``should_stop`` is polled per prefix binding
+        (the BFS analogue of the DFS kernels' per-root-candidate poll).
+        """
+        from repro.engines.base import StopExploration, clip_to_window
 
         start = time.perf_counter()
         stats = self.stats
@@ -53,7 +60,11 @@ class BigJoinEngine(MiningEngine):
                 last = level_index == depth - 1
                 next_bindings: list[list[int]] = []
                 for binding in bindings:
+                    if should_stop is not None and should_stop():
+                        raise StopExploration()
                     cand = level_candidates(graph, level, binding, stats)
+                    if level_index == 0 and root_window is not None:
+                        cand = clip_to_window(cand, root_window)
                     if last and on_match is None:
                         count += int(len(cand))
                         stats.materialized += int(len(cand))
@@ -81,21 +92,33 @@ class BigJoinEngine(MiningEngine):
 
     # -- MiningEngine overrides (BFS instead of the DFS kernel) ------------
 
-    def count(self, graph: DataGraph, pattern: Pattern) -> int:
+    def count(
+        self, graph: DataGraph, pattern: Pattern, *, root_window=None, cancel=None
+    ) -> int:
         plan, needs_filter = self._plan_pattern(pattern, graph)
+        should_stop = cancel.is_set if cancel is not None else None
         if not needs_filter:
-            return self._run_bfs(graph, plan, None)
+            return self._run_bfs(graph, plan, None, root_window, should_stop)
         kept = [0]
 
         def on_match(match: Match) -> None:
             if self._filter_match(graph, pattern, match):
                 kept[0] += 1
 
-        self._run_bfs(graph, plan, on_match)
+        self._run_bfs(graph, plan, on_match, root_window, should_stop)
         return kept[0]
 
-    def explore(self, graph: DataGraph, pattern: Pattern, process) -> int:
+    def explore(
+        self,
+        graph: DataGraph,
+        pattern: Pattern,
+        process,
+        *,
+        root_window=None,
+        cancel=None,
+    ) -> int:
         plan, needs_filter = self._plan_pattern(pattern, graph)
+        should_stop = cancel.is_set if cancel is not None else None
         emitted = [0]
 
         def on_match(match: Match) -> None:
@@ -107,5 +130,5 @@ class BigJoinEngine(MiningEngine):
             self.stats.udf_seconds += time.perf_counter() - udf_start
             emitted[0] += 1
 
-        self._run_bfs(graph, plan, on_match)
+        self._run_bfs(graph, plan, on_match, root_window, should_stop)
         return emitted[0]

@@ -1,0 +1,295 @@
+"""Shard-parallel execution layer: vertex-range sharding over any engine.
+
+Both Peregrine (arXiv:2004.02369) and GraphPi treat the data graph's
+top-level candidate vertices as an embarrassingly parallel task range;
+this module reproduces that execution model on top of the unmodified
+plan-interpretation kernels. A run splits the root candidate range into
+degree-balanced vertex-id windows (:func:`shard_by_degree_prefix`), runs
+every shard through the engine's own kernels, and merges per-shard
+results **deterministically in shard order**:
+
+* values through :meth:`repro.core.aggregation.Aggregation.merge`
+  (counts add, MNI tables union per column, match lists concatenate in
+  shard order — which, because shards are ascending id windows, is
+  exactly the serial enumeration order);
+* counters through :meth:`repro.engines.base.EngineStats.merge`.
+
+Two executors implement the transport:
+
+* :class:`SerialShardExecutor` — in-process, shard-at-a-time. The
+  default/fallback: the same split/merge code path with zero new
+  failure modes, used by the differential tests to pin the parallel
+  semantics to the serial kernel.
+* :class:`ProcessShardExecutor` — ``concurrent.futures``
+  ``ProcessPoolExecutor`` workers. The engine and graph ship to each
+  worker once (pool initializer); per-shard tasks carry only the
+  pattern, aggregation and window.
+
+Early termination (``StopExploration`` / saturating aggregations such as
+existence probes) propagates across shards through a shared cancellation
+token: the shard that saturates sets the flag, kernels poll it once per
+root candidate, and unstarted shards return their aggregation's zero.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Sequence
+
+from repro.core.aggregation import Aggregation
+from repro.core.pattern import Pattern
+from repro.engines.base import EngineStats, MiningEngine
+from repro.graph.datagraph import DataGraph
+from repro.graph.partition import shard_by_degree_prefix
+
+Shard = tuple[int, int]
+#: One shard's outcome: (un-finalized aggregation value, shard stats).
+ShardResult = tuple[Any, EngineStats]
+
+
+class CancelFlag:
+    """In-process cancellation token (the serial analogue of ``mp.Event``)."""
+
+    __slots__ = ("_flag",)
+
+    def __init__(self) -> None:
+        self._flag = False
+
+    def set(self) -> None:
+        self._flag = True
+
+    def is_set(self) -> bool:
+        return self._flag
+
+
+def default_shard_count(workers: int, graph: DataGraph) -> int:
+    """Shards per run: oversubscribe ~4 per worker for balance slack."""
+    return max(1, min(graph.num_vertices, max(1, workers) * 4))
+
+
+class ShardExecutor(ABC):
+    """Transport for running shard tasks and collecting ordered results."""
+
+    workers: int = 1
+
+    @abstractmethod
+    def map_shards(
+        self,
+        engine: MiningEngine,
+        graph: DataGraph,
+        pattern: Pattern,
+        aggregation: Aggregation,
+        shards: Sequence[Shard],
+    ) -> list[ShardResult]:
+        """Run every shard; results are returned in shard order."""
+
+    def close(self) -> None:
+        """Release worker resources (no-op for in-process executors)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialShardExecutor(ShardExecutor):
+    """In-process sharded execution: identical split/merge, no processes."""
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, workers)
+
+    def map_shards(self, engine, graph, pattern, aggregation, shards):
+        cancel = CancelFlag()
+        results: list[ShardResult] = []
+        saved_stats = engine.stats
+        try:
+            for shard in shards:
+                engine.stats = EngineStats()
+                if not cancel.is_set():
+                    value, _terminal = engine.aggregate_partial(
+                        graph,
+                        pattern,
+                        aggregation,
+                        root_window=shard,
+                        cancel=cancel,
+                    )
+                else:
+                    value = aggregation.zero()
+                results.append((value, engine.stats))
+        finally:
+            engine.stats = saved_stats
+        return results
+
+
+# -- process-pool transport --------------------------------------------------
+
+#: Per-worker state installed by the pool initializer: (engine, graph,
+#: shared cancellation event). Worker processes handle one task at a
+#: time, so reusing one engine instance per worker is race-free and lets
+#: plan/order caches warm across shards.
+_WORKER_STATE: tuple | None = None
+
+
+def _init_shard_worker(engine, graph, cancel) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (engine, graph, cancel)
+
+
+def _run_shard_task(pattern, aggregation, shard) -> ShardResult:
+    assert _WORKER_STATE is not None, "worker pool not initialized"
+    engine, graph, cancel = _WORKER_STATE
+    engine.reset_stats()
+    if cancel is not None and cancel.is_set():
+        return aggregation.zero(), engine.stats
+    value, _terminal = engine.aggregate_partial(
+        graph, pattern, aggregation, root_window=shard, cancel=cancel
+    )
+    return value, engine.stats
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Worker-process transport over ``ProcessPoolExecutor``.
+
+    The pool binds to one (engine, graph) pair at first use and is
+    rebuilt if either changes; a :class:`MorphingSession` therefore
+    reuses one warm pool across every pattern of a run. If the platform
+    refuses to start worker processes (restricted sandboxes), execution
+    degrades to :class:`SerialShardExecutor` transparently.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("process execution needs at least 2 workers")
+        self.workers = workers
+        self._pool = None
+        self._event = None
+        self._bound_to: tuple[int, int] | None = None
+        self._fallback: SerialShardExecutor | None = None
+
+    def _ensure_pool(self, engine: MiningEngine, graph: DataGraph) -> None:
+        key = (id(engine), id(graph))
+        if self._pool is not None and self._bound_to == key:
+            return
+        self.close()
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # platforms without fork
+            ctx = mp.get_context()
+        self._event = ctx.Event()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=ctx,
+            initializer=_init_shard_worker,
+            initargs=(engine, graph, self._event),
+        )
+        self._bound_to = key
+
+    def map_shards(self, engine, graph, pattern, aggregation, shards):
+        if self._fallback is not None:
+            return self._fallback.map_shards(
+                engine, graph, pattern, aggregation, shards
+            )
+        try:
+            self._ensure_pool(engine, graph)
+            self._event.clear()
+            futures = [
+                self._pool.submit(_run_shard_task, pattern, aggregation, shard)
+                for shard in shards
+            ]
+            return [f.result() for f in futures]
+        except (OSError, BrokenProcessPool, ImportError) as exc:
+            # Restricted environments (no /dev/shm, no fork permission):
+            # degrade to in-process sharding — identical results, no pool.
+            import warnings
+
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                "falling back to in-process sharded execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.close()
+            self._fallback = SerialShardExecutor(self.workers)
+            return self._fallback.map_shards(
+                engine, graph, pattern, aggregation, shards
+            )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._event = None
+        self._bound_to = None
+
+
+def make_executor(workers: int, executor=None) -> ShardExecutor:
+    """Resolve an executor spec: instance, ``"serial"``, or ``"process"``."""
+    if isinstance(executor, ShardExecutor):
+        return executor
+    if executor == "serial":
+        return SerialShardExecutor(workers)
+    if executor in (None, "process"):
+        if workers <= 1:
+            return SerialShardExecutor(workers)
+        return ProcessShardExecutor(workers)
+    raise ValueError(
+        f"unknown executor {executor!r}: use 'serial', 'process', "
+        "or a ShardExecutor instance"
+    )
+
+
+def run_sharded(
+    engine: MiningEngine,
+    graph: DataGraph,
+    pattern: Pattern,
+    aggregation: Aggregation,
+    executor: ShardExecutor,
+    num_shards: int | None = None,
+):
+    """One pattern, sharded: split, fan out, merge in shard order.
+
+    Per-shard stats merge into ``engine.stats`` (so the engine's counters
+    reflect the whole run, exactly like the serial path) and the merged
+    value is finalized once — :meth:`Aggregation.finalize` must see the
+    complete value, e.g. MNI's automorphism closure over the full table.
+    """
+    shards = shard_by_degree_prefix(
+        graph, num_shards or default_shard_count(executor.workers, graph)
+    )
+    parts = executor.map_shards(engine, graph, pattern, aggregation, shards)
+    value = aggregation.zero()
+    for part_value, part_stats in parts:
+        engine.stats.merge(part_stats)
+        value = aggregation.merge(value, part_value)
+    return aggregation.finalize(pattern, value)
+
+
+def execute_sharded(
+    engine: MiningEngine,
+    graph: DataGraph,
+    pattern: Pattern,
+    aggregation: Aggregation,
+    *,
+    workers: int = 1,
+    num_shards: int | None = None,
+    executor=None,
+):
+    """Entry point behind :meth:`MiningEngine.run`'s parallel path.
+
+    Owns the executor's lifetime unless the caller passed an instance in
+    (then the caller keeps the warm pool).
+    """
+    owned = not isinstance(executor, ShardExecutor)
+    resolved = make_executor(workers, executor)
+    try:
+        return run_sharded(
+            engine, graph, pattern, aggregation, resolved, num_shards=num_shards
+        )
+    finally:
+        if owned:
+            resolved.close()

@@ -48,15 +48,26 @@ class GraphPiEngine(MiningEngine):
         self._model_cache: dict[int, GraphModel] = {}
         self._order_cache: dict[tuple[int, int], tuple[int, ...]] = {}
 
-    def count(self, graph: DataGraph, pattern: Pattern) -> int:
+    def count(
+        self, graph: DataGraph, pattern: Pattern, *, root_window=None, cancel=None
+    ) -> int:
         if self.use_iep and not self._needs_filter(pattern):
             from repro.engines.graphpi.iep import iep_suffix_length, run_iep_count
 
             plan = self.make_plan(pattern, graph)
             suffix = iep_suffix_length(plan)
-            if suffix:
-                return run_iep_count(graph, plan, self.stats, suffix)
-        return super().count(graph, pattern)
+            # A whole-plan suffix has no root loop to shard, so a
+            # windowed request falls through to the plain kernel.
+            if suffix and (root_window is None or suffix < plan.depth):
+                return run_iep_count(
+                    graph,
+                    plan,
+                    self.stats,
+                    suffix,
+                    root_window=root_window,
+                    should_stop=cancel.is_set if cancel is not None else None,
+                )
+        return super().count(graph, pattern, root_window=root_window, cancel=cancel)
 
     def make_plan(self, pattern: Pattern, graph: DataGraph) -> ExplorationPlan:
         order = self._select_order(pattern, graph)

@@ -33,7 +33,12 @@ from math import factorial
 
 import numpy as np
 
-from repro.engines.base import EngineStats, level_candidates
+from repro.engines.base import (
+    EngineStats,
+    StopExploration,
+    clip_to_window,
+    level_candidates,
+)
 from repro.engines.plan import ExplorationPlan, PlanLevel
 from repro.engines.setops import exclude, intersect
 
@@ -155,10 +160,20 @@ def run_iep_count(
     plan: ExplorationPlan,
     stats: EngineStats,
     suffix_length: int,
+    root_window=None,
+    should_stop=None,
 ) -> int:
-    """Count matches with IEP applied to the plan's eligible suffix."""
+    """Count matches with IEP applied to the plan's eligible suffix.
+
+    ``root_window`` clips the level-0 loop to one shard's vertex-id
+    window (requires ``suffix_length < depth``, i.e. a real root loop);
+    ``should_stop`` is polled per root candidate for cross-shard
+    cancellation.
+    """
     depth = plan.depth
     start = depth - suffix_length
+    if start == 0 and root_window is not None:
+        raise ValueError("whole-plan IEP suffix cannot be root-sharded")
     suffix = plan.levels[start:]
     # /k! when symmetry restrictions totally order an interchangeable suffix.
     constrained = sum(
@@ -181,15 +196,26 @@ def run_iep_count(
             ordered = ordered_distinct_count(candidate_sets, stats)
             return ordered // divisor
         cand = level_candidates(graph, plan.levels[level_index], stack, stats)
+        poll = level_index == 0 and should_stop is not None
+        if level_index == 0 and root_window is not None:
+            cand = clip_to_window(cand, root_window)
         subtotal = 0
         for v in cand.tolist():
+            if poll and should_stop():
+                raise StopExploration()
             stack[level_index] = v
             subtotal += descend(level_index + 1)
         return subtotal
 
     wall = time.perf_counter()
-    total = descend(0)
+    stopped_early = False
+    try:
+        total = descend(0)
+    except StopExploration:
+        stopped_early = True
+        total = 0
     stats.total_seconds += time.perf_counter() - wall
-    stats.matches += total
+    if not stopped_early:
+        stats.matches += total
     stats.patterns_matched += 1
     return total

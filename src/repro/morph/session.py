@@ -67,18 +67,91 @@ class MorphingSession:
         enabled: bool = True,
         margin: float = 0.6,
         cache: "MeasurementCache | None" = None,
+        workers: int = 1,
+        executor=None,
     ) -> None:
         """``margin`` is forwarded to Algorithm 1: a morph must be
         predicted to cost under ``margin`` times what it saves. ``margin
         >= 1`` accepts any predicted win; large values force morphing
         (useful to reproduce the paper's blind-morphing comparison,
         §7.5). ``cache`` optionally memoizes measured alternative values
-        across runs on the same graph (FSM levels share superpatterns)."""
+        across runs on the same graph (FSM levels share superpatterns).
+
+        ``workers`` enables the shard-parallel execution layer: with
+        ``workers > 1`` every pattern's matching fans out over
+        degree-balanced root-vertex shards (one warm worker pool per
+        run) and merges deterministically, so results — counts, MNI
+        tables, ordered match lists — are identical to ``workers=1``.
+        ``executor`` overrides the transport (``"process"``/``"serial"``
+        or a ``ShardExecutor`` instance); the serial in-process path is
+        the default and behavior is unchanged unless ``workers > 1`` or
+        an executor is supplied."""
         self.engine = engine
         self.aggregation = aggregation or CountAggregation()
         self.enabled = enabled
         self.margin = margin
         self.cache = cache
+        self.workers = workers
+        self.executor = executor
+
+    # -- shard-parallel plumbing -------------------------------------------
+
+    def _make_executor(self):
+        """Resolve the run's executor: ``(executor, owned)`` or ``(None, _)``.
+
+        One executor (and so one warm worker pool) serves every pattern
+        of a run; a caller-supplied ``ShardExecutor`` instance outlives
+        the run (``owned=False``).
+        """
+        if self.workers <= 1 and self.executor is None:
+            return None, False
+        from repro.engines.execution import ShardExecutor, make_executor
+
+        owned = not isinstance(self.executor, ShardExecutor)
+        return make_executor(self.workers, self.executor), owned
+
+    def _count_set(self, graph, patterns, exec_):
+        """Counts for a pattern set, sharded when an executor is active.
+
+        The serial path keeps engine-native multi-pattern execution
+        (AutoZero's merged schedules, SumPA's abstraction); the sharded
+        path fans each pattern over root-vertex shards instead.
+        """
+        if exec_ is None:
+            return self.engine.count_set(graph, patterns)
+        from repro.engines.execution import run_sharded
+
+        return {
+            p: run_sharded(self.engine, graph, p, CountAggregation(), exec_)
+            for p in patterns
+        }
+
+    def _aggregate_one(self, graph, pattern, exec_):
+        if exec_ is None:
+            return self.engine.aggregate(graph, pattern, self.aggregation)
+        from repro.engines.execution import run_sharded
+
+        return run_sharded(self.engine, graph, pattern, self.aggregation, exec_)
+
+    def _explore(self, graph, pattern, callback, exec_) -> None:
+        """Stream matches through ``callback``, sharded when parallel.
+
+        The parallel path materializes each shard's matches, merges them
+        in shard order (= the serial enumeration order) and replays the
+        stream in the parent, so callbacks observe the exact serial
+        sequence without having to cross process boundaries.
+        """
+        if exec_ is None:
+            self.engine.explore(graph, pattern, callback)
+            return
+        from repro.core.aggregation import MatchListAggregation
+        from repro.engines.execution import run_sharded
+
+        matches = run_sharded(
+            self.engine, graph, pattern, MatchListAggregation(), exec_
+        )
+        for match in matches:
+            callback(pattern, match)
 
     # -- batched mode --------------------------------------------------------
 
@@ -86,8 +159,18 @@ class MorphingSession:
         """Mine all query patterns, morphing when enabled."""
         patterns = list(patterns)
         self.engine.reset_stats()
+        exec_, owned = self._make_executor()
+        try:
+            return self._run_batched(graph, patterns, exec_)
+        finally:
+            if exec_ is not None and owned:
+                exec_.close()
+
+    def _run_batched(
+        self, graph: DataGraph, patterns: list[Pattern], exec_
+    ) -> MorphRunResult:
         if not self.enabled:
-            return self._run_baseline(graph, patterns)
+            return self._run_baseline(graph, patterns, exec_)
 
         transform_start = time.perf_counter()
         cost_model = CostModel.for_graph(
@@ -102,7 +185,7 @@ class MorphingSession:
             # The cost model declined every morph: run the queries as
             # given (their own numbering and plans), keeping the selection
             # metadata so callers can see the decision.
-            baseline = self._run_baseline(graph, patterns)
+            baseline = self._run_baseline(graph, patterns, exec_)
             return MorphRunResult(
                 results=baseline.results,
                 stats=baseline.stats,
@@ -128,14 +211,12 @@ class MorphingSession:
 
         if count_mode:
             concrete = {item: materialize(item) for item in measured_items}
-            counts = self.engine.count_set(graph, list(concrete.values()))
+            counts = self._count_set(graph, list(concrete.values()), exec_)
             for item, pattern in concrete.items():
                 store[item] = counts[pattern]
         else:
             for item in measured_items:
-                store[item] = self.engine.aggregate(
-                    graph, materialize(item), self.aggregation
-                )
+                store[item] = self._aggregate_one(graph, materialize(item), exec_)
         if self.cache is not None:
             for item in measured_items:
                 self.cache.put(graph, self.aggregation, item, store[item])
@@ -160,18 +241,17 @@ class MorphingSession:
         )
 
     def _run_baseline(
-        self, graph: DataGraph, patterns: list[Pattern]
+        self, graph: DataGraph, patterns: list[Pattern], exec_=None
     ) -> MorphRunResult:
         start = time.perf_counter()
         count_mode = isinstance(self.aggregation, CountAggregation)
         if count_mode:
             results: dict[Pattern, Any] = dict(
-                self.engine.count_set(graph, patterns)
+                self._count_set(graph, patterns, exec_)
             )
         else:
             results = {
-                p: self.engine.aggregate(graph, p, self.aggregation)
-                for p in patterns
+                p: self._aggregate_one(graph, p, exec_) for p in patterns
             }
         return MorphRunResult(
             results=results,
@@ -198,6 +278,23 @@ class MorphingSession:
         """
         patterns = list(patterns)
         self.engine.reset_stats()
+        exec_, owned = self._make_executor()
+        try:
+            return self._run_streaming(
+                graph, patterns, process, vertex_filter, exec_
+            )
+        finally:
+            if exec_ is not None and owned:
+                exec_.close()
+
+    def _run_streaming(
+        self,
+        graph: DataGraph,
+        patterns: list[Pattern],
+        process: Callable[[Pattern, Match], None],
+        vertex_filter: Callable[[Match], bool] | None,
+        exec_,
+    ) -> MorphRunResult:
         emitted: dict[Pattern, int] = {p: 0 for p in patterns}
 
         def counted_process(query: Pattern, match: Match) -> None:
@@ -208,10 +305,10 @@ class MorphingSession:
             start = time.perf_counter()
             for p in patterns:
                 if vertex_filter is None:
-                    self.engine.explore(graph, p, counted_process)
+                    self._explore(graph, p, counted_process, exec_)
                 else:
-                    self.engine.explore(
-                        graph, p, _filtered(vertex_filter, counted_process)
+                    self._explore(
+                        graph, p, _filtered(vertex_filter, counted_process), exec_
                     )
             return MorphRunResult(
                 results=dict(emitted),
@@ -247,7 +344,7 @@ class MorphingSession:
                     if vertex_filter is None
                     else _filtered(vertex_filter, counted_process)
                 )
-                self.engine.explore(graph, p, callback)
+                self._explore(graph, p, callback, exec_)
             return MorphRunResult(
                 results=dict(emitted),
                 stats=self.engine.stats,
@@ -280,7 +377,7 @@ class MorphingSession:
                 for converter in _fan:
                     converter(match)
 
-            self.engine.explore(graph, materialize(item), on_match)
+            self._explore(graph, materialize(item), on_match, exec_)
         match_seconds = time.perf_counter() - match_start
 
         return MorphRunResult(

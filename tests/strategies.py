@@ -52,6 +52,11 @@ def permutations_of(n: int):
     return st.permutations(list(range(n)))
 
 
+def shard_counts(max_shards: int = 8):
+    """Shard counts for the parallel execution layer (1 = unsharded)."""
+    return st.integers(1, max_shards)
+
+
 @st.composite
 def data_graphs(draw, min_n: int = 4, max_n: int = 14, labeled: bool = False):
     """Small random data graphs sized for the brute-force oracle."""

@@ -35,7 +35,20 @@ class TestCompareWorkload:
         )
         fields = row.csv().split(",")
         assert fields[0] == "tri"
-        assert len(fields) == 5
+        assert len(fields) == 6
+        assert fields[-1] == "1"  # serial by default
+
+    def test_workers_recorded(self, small_graph):
+        row = compare_workload(
+            PeregrineEngine,
+            small_graph,
+            [TRIANGLE],
+            workload="tri",
+            workers=4,
+        )
+        assert row.workers == 4
+        assert row.csv().split(",")[-1] == "4"
+        assert row.results_equal
 
 
 class TestFigureReport:
