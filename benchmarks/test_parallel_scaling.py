@@ -1,12 +1,18 @@
-"""Shard-parallel scaling: serial vs 4-worker motif counting.
+"""Scaling benchmarks: adaptive set-op kernels and shard parallelism.
 
-The execution layer's performance claim — near-linear scaling over
-root-vertex shards — only materializes on multi-core hardware, so the
-speedup assertion is gated on the cores actually available to this
-process. On a single-core runner the benchmark still runs both
-configurations, asserts the results are identical (the correctness half
-of the claim holds everywhere), and records the observed ratio in the
-report; the ≥1.5× floor is asserted only with 2+ cores.
+Two performance claims live here. The kernel claim — the size-ratio
+adaptive set operations beat the legacy merge-based kernels on skewed
+power-law adjacency — is serial and holds on any hardware, so its ≥1.3×
+floor is always asserted (unless record-only mode, below). The execution
+layer's claim — near-linear scaling over root-vertex shards — only
+materializes on multi-core hardware, so its speedup assertion is gated
+on the cores actually available to this process; on a single-core runner
+the benchmark still runs both configurations and asserts the results are
+identical (the correctness half of the claim holds everywhere).
+
+Setting ``REPRO_BENCH_RECORD_ONLY=1`` disables every timing assertion
+and just records the measured ratios in the report — the mode CI's
+bench-smoke job uses, where shared runners make wall-clock floors flaky.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import pytest
 
 from repro.bench.harness import timed
 from repro.core.atlas import motif_patterns
+from repro.engines import setops
 from repro.engines.peregrine.engine import PeregrineEngine
 from repro.graph.generators import power_law_cluster
 from repro.morph.session import MorphingSession
@@ -24,6 +31,10 @@ from repro.morph.session import MorphingSession
 WORKERS = 4
 #: Speedup floor asserted at 4 workers on multi-core hosts.
 SPEEDUP_FLOOR = 1.5
+#: Serial floor for adaptive kernels vs the legacy merge-based kernels.
+ADAPTIVE_SPEEDUP_FLOOR = 1.3
+#: Record measurements without asserting timing floors (CI smoke mode).
+RECORD_ONLY = os.environ.get("REPRO_BENCH_RECORD_ONLY", "") not in ("", "0")
 
 
 def _available_cores() -> int:
@@ -69,10 +80,52 @@ def test_parallel_scaling_3mc(scale_graph, benchmark):
     benchmark.extra_info["parallel_s"] = round(parallel_seconds, 4)
     benchmark.extra_info["speedup"] = round(speedup, 3)
 
-    if cores >= 2:
+    if cores >= 2 and not RECORD_ONLY:
         assert speedup >= SPEEDUP_FLOOR, (
             f"expected >= {SPEEDUP_FLOOR}x at {WORKERS} workers on "
             f"{cores} cores, measured {speedup:.2f}x"
+        )
+
+
+def test_adaptive_setops_serial_3mc(scale_graph, benchmark):
+    """Adaptive kernels vs legacy merge-based kernels, serial 3-motif count.
+
+    ``setops.use_adaptive(False)`` restores the pre-refactor kernel
+    suite (``intersect1d``/``setdiff1d``/``isin``) exactly, so the
+    legacy leg *is* the pre-CSR baseline for the kernel layer. The
+    adaptive dispatch (galloping ``searchsorted`` when one side is
+    ≥8× smaller) wins on power-law graphs because most intersections
+    there pair a tiny candidate set against a hub's adjacency row.
+    """
+    patterns = list(motif_patterns(3))
+
+    def run_once():
+        return timed(
+            lambda: MorphingSession(PeregrineEngine(), enabled=True).run(
+                scale_graph, patterns
+            )
+        )
+
+    run_once()  # warm caches (CSR rows, plan memos) outside the timing
+    with setops.use_adaptive(False):
+        legacy_result, legacy_seconds = run_once()
+    adaptive_result, adaptive_seconds = benchmark.pedantic(
+        run_once, rounds=1, iterations=1
+    )
+
+    assert adaptive_result.results == legacy_result.results
+
+    speedup = legacy_seconds / adaptive_seconds if adaptive_seconds > 0 else 1.0
+    benchmark.extra_info["workload"] = "3-MC serial"
+    benchmark.extra_info["graph"] = scale_graph.name
+    benchmark.extra_info["legacy_s"] = round(legacy_seconds, 4)
+    benchmark.extra_info["adaptive_s"] = round(adaptive_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+    if not RECORD_ONLY:
+        assert speedup >= ADAPTIVE_SPEEDUP_FLOOR, (
+            f"adaptive kernels expected >= {ADAPTIVE_SPEEDUP_FLOOR}x over "
+            f"legacy, measured {speedup:.2f}x"
         )
 
 
@@ -101,4 +154,5 @@ def test_parallel_overhead_bounded_serial_executor(scale_graph, benchmark):
     benchmark.extra_info["serial_s"] = round(serial_seconds, 4)
     benchmark.extra_info["sharded_serial_s"] = round(sharded_seconds, 4)
     # Generous bound: sharding 16 ways may repeat some per-shard setup.
-    assert sharded_seconds <= serial_seconds * 2.0 + 0.5
+    if not RECORD_ONLY:
+        assert sharded_seconds <= serial_seconds * 2.0 + 0.5

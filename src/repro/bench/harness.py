@@ -8,6 +8,8 @@ asserts baseline == morphed results — the correctness half of claim C1.
 
 from __future__ import annotations
 
+import resource
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -32,6 +34,7 @@ class ComparisonRow:
     results_equal: bool
     morphed_patterns: int
     workers: int = 1
+    peak_rss_kib: int = 0
 
     @property
     def speedup(self) -> float:
@@ -59,7 +62,8 @@ class ComparisonRow:
     def csv(self) -> str:
         return (
             f"{self.workload},{self.graph},{self.morphed_seconds:.4f},"
-            f"{self.baseline_seconds:.4f},{self.speedup:.2f},{self.workers}"
+            f"{self.baseline_seconds:.4f},{self.speedup:.2f},{self.workers},"
+            f"{self.peak_rss_kib}"
         )
 
 
@@ -84,6 +88,7 @@ def compare_workload(
     )
     baseline = baseline_session.run(graph, list(patterns))
     morphed = morphed_session.run(graph, list(patterns))
+    peak_rss = peak_rss_kib()
     equal = _results_equal(baseline, morphed)
     assert equal, f"morphing changed results for {workload} on {graph.name}"
     morphed_count = (
@@ -99,7 +104,23 @@ def compare_workload(
         results_equal=equal,
         morphed_patterns=morphed_count,
         workers=workers,
+        peak_rss_kib=peak_rss,
     )
+
+
+def peak_rss_kib() -> int:
+    """Peak resident set size of this process, in KiB.
+
+    ``ru_maxrss`` is a high-water mark, so a row records the largest
+    footprint seen up to and including its run — enough to catch a
+    storage-layer regression (e.g. an accidental adjacency copy) in CI
+    without any sampling machinery. Linux reports KiB; macOS reports
+    bytes and is normalized here.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
 
 
 def _results_equal(a: MorphRunResult, b: MorphRunResult) -> bool:
@@ -124,7 +145,7 @@ class FigureReport:
 
     def render(self) -> str:
         lines = [f"# {self.figure}: {self.description}"]
-        header = "workload,graph,morphed_s,baseline_s,speedup,workers"
+        header = "workload,graph,morphed_s,baseline_s,speedup,workers,peak_rss_kib"
         if self.extra_columns:
             header += "," + ",".join(self.extra_columns)
         lines.append(header)

@@ -81,7 +81,15 @@ def resolve_pattern(name: str) -> Pattern:
 
 def resolve_graph(args):
     if args.graph_file:
-        return load_edge_list(args.graph_file, args.label_file)
+        graph = load_edge_list(args.graph_file, args.label_file)
+        if graph.num_dropped_self_loops or graph.num_duplicate_edges:
+            print(
+                f"# cleaned {graph.name}: dropped "
+                f"{graph.num_dropped_self_loops} self-loops and "
+                f"{graph.num_duplicate_edges} duplicate edges",
+                file=sys.stderr,
+            )
+        return graph
     return datasets.load(args.graph)
 
 

@@ -184,6 +184,7 @@ def level_candidates(
 
 
 _EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.flags.writeable = False
 
 #: A shard's top-level candidate restriction: a half-open vertex-id
 #: window ``(lo, hi)``. Windows partition the root candidate range, and

@@ -21,9 +21,12 @@ Two executors implement the transport:
   failure modes, used by the differential tests to pin the parallel
   semantics to the serial kernel.
 * :class:`ProcessShardExecutor` — ``concurrent.futures``
-  ``ProcessPoolExecutor`` workers. The engine and graph ship to each
-  worker once (pool initializer); per-shard tasks carry only the
-  pattern, aggregation and window.
+  ``ProcessPoolExecutor`` workers. The engine ships to each worker once
+  (pool initializer); the graph's flat CSR arrays are published to one
+  ``multiprocessing.shared_memory`` segment that every worker attaches
+  to **zero-copy** (:class:`SharedGraphPayload`), with a transparent
+  fallback to pickling the graph when shared memory is unavailable.
+  Per-shard tasks carry only the pattern, aggregation and window.
 
 Early termination (``StopExploration`` / saturating aggregations such as
 existence probes) propagates across shards through a shared cancellation
@@ -123,6 +126,167 @@ class SerialShardExecutor(ShardExecutor):
         return results
 
 
+# -- zero-copy graph transport ------------------------------------------------
+
+
+class SharedGraphPayload:
+    """Picklable handle that rebuilds a :class:`DataGraph` from shared memory.
+
+    :meth:`export` copies the graph's flat CSR arrays (``indptr``,
+    ``indices``, optional ``labels``) into one
+    ``multiprocessing.shared_memory`` segment — once, in the parent.
+    The payload itself carries only the segment name plus array
+    metadata, so shipping it to a worker costs a few hundred bytes;
+    :meth:`attach` maps the segment and wraps the arrays **zero-copy**
+    (``DataGraph.from_csr`` adopts the buffers without touching the
+    edge data). The parent owns the segment and must call
+    :meth:`dispose` when the pool shuts down.
+    """
+
+    def __init__(
+        self,
+        shm_name: str,
+        num_vertices: int,
+        graph_name: str,
+        blocks: dict[str, tuple[int, tuple[int, ...], str]],
+        num_dropped_self_loops: int = 0,
+        num_duplicate_edges: int = 0,
+        tracker_pid: int | None = None,
+    ) -> None:
+        self.shm_name = shm_name
+        self.num_vertices = num_vertices
+        self.graph_name = graph_name
+        #: field -> (byte offset, shape, dtype string) inside the segment.
+        self.blocks = blocks
+        self.num_dropped_self_loops = num_dropped_self_loops
+        self.num_duplicate_edges = num_duplicate_edges
+        #: pid of the owner's resource-tracker daemon (see ``attach``).
+        self.tracker_pid = tracker_pid
+        self._shm = None  # owner-side handle; never pickled
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_shm"] = None
+        return state
+
+    @classmethod
+    def export(cls, graph: DataGraph) -> "SharedGraphPayload":
+        """Copy a graph's CSR arrays into one shared-memory segment."""
+        from multiprocessing import shared_memory
+
+        import numpy as np
+
+        arrays = {"indptr": graph.indptr, "indices": graph.indices}
+        if graph.labels is not None:
+            arrays["labels"] = graph.labels
+        total = sum(a.nbytes for a in arrays.values())
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        blocks: dict[str, tuple[int, tuple[int, ...], str]] = {}
+        offset = 0
+        for name, arr in arrays.items():
+            target = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset)
+            target[...] = arr
+            blocks[name] = (offset, arr.shape, arr.dtype.str)
+            offset += arr.nbytes
+        payload = cls(
+            shm.name,
+            graph.num_vertices,
+            graph.name,
+            blocks,
+            num_dropped_self_loops=graph.num_dropped_self_loops,
+            num_duplicate_edges=graph.num_duplicate_edges,
+            tracker_pid=_resource_tracker_pid(),
+        )
+        payload._shm = shm
+        return payload
+
+    def attach(self) -> DataGraph:
+        """Map the segment and wrap it as a graph without copying."""
+        from multiprocessing import shared_memory
+
+        import numpy as np
+
+        shm = shared_memory.SharedMemory(name=self.shm_name)
+        try:
+            # Attaching registers the segment with a resource tracker,
+            # which would unlink it when the tracked process set exits;
+            # the parent owns the lifetime, so undo it — but only when
+            # this process runs its *own* tracker (spawn). Fork workers
+            # share the owner's tracker daemon, where the register was a
+            # set-add no-op; unregistering there would strip the owner's
+            # own registration and make its later unlink double-free.
+            from multiprocessing import resource_tracker
+
+            pid = _resource_tracker_pid()
+            if pid is not None and pid != self.tracker_pid:
+                resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+
+        def view(field: str) -> np.ndarray:
+            offset, shape, dtype = self.blocks[field]
+            arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            arr.flags.writeable = False
+            return arr
+
+        graph = DataGraph.from_csr(
+            self.num_vertices,
+            view("indptr"),
+            view("indices"),
+            labels=view("labels") if "labels" in self.blocks else None,
+            name=self.graph_name,
+            num_dropped_self_loops=self.num_dropped_self_loops,
+            num_duplicate_edges=self.num_duplicate_edges,
+            validate=False,
+        )
+        # Keep the mapping alive for as long as the graph is, and make
+        # the transport introspectable (tests assert zero-copy attach).
+        graph._shm = shm  # type: ignore[attr-defined]
+        graph.csr_transport = "shared_memory"  # type: ignore[attr-defined]
+        return graph
+
+    def dispose(self) -> None:
+        """Owner-side cleanup: close and unlink the segment."""
+        from multiprocessing import shared_memory
+
+        shm = self._shm
+        if shm is None:  # disposed from a non-owner copy: open by name
+            try:
+                shm = shared_memory.SharedMemory(name=self.shm_name)
+            except FileNotFoundError:
+                return
+        self._shm = None
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _resource_tracker_pid() -> int | None:
+    """Pid of this process's resource-tracker daemon, if one is running."""
+    try:
+        from multiprocessing import resource_tracker
+
+        return getattr(resource_tracker._resource_tracker, "_pid", None)
+    except Exception:
+        return None
+
+
+def export_graph(graph: DataGraph):
+    """Best-effort shared-memory export; ``None`` when unavailable.
+
+    Restricted sandboxes can lack ``/dev/shm`` or forbid segment
+    creation — then the pool falls back to pickling the graph into each
+    worker (the pre-shared-memory transport), which is slower but
+    identical in behavior.
+    """
+    try:
+        return SharedGraphPayload.export(graph)
+    except Exception:
+        return None
+
+
 # -- process-pool transport --------------------------------------------------
 
 #: Per-worker state installed by the pool initializer: (engine, graph,
@@ -134,7 +298,24 @@ _WORKER_STATE: tuple | None = None
 
 def _init_shard_worker(engine, graph, cancel) -> None:
     global _WORKER_STATE
+    if isinstance(graph, SharedGraphPayload):
+        graph = graph.attach()
     _WORKER_STATE = (engine, graph, cancel)
+
+
+def _probe_worker_graph() -> dict:
+    """Introspection task: how did this worker receive the graph?
+
+    Used by the transport tests to assert that pool workers *attached*
+    to the parent's CSR buffers instead of unpickling a copy.
+    """
+    assert _WORKER_STATE is not None, "worker pool not initialized"
+    _engine, graph, _cancel = _WORKER_STATE
+    return {
+        "transport": getattr(graph, "csr_transport", "pickle"),
+        "indices_writeable": bool(graph.indices.flags.writeable),
+        "num_edges": graph.num_edges,
+    }
 
 
 def _run_shard_task(pattern, aggregation, shard) -> ShardResult:
@@ -154,9 +335,13 @@ class ProcessShardExecutor(ShardExecutor):
 
     The pool binds to one (engine, graph) pair at first use and is
     rebuilt if either changes; a :class:`MorphingSession` therefore
-    reuses one warm pool across every pattern of a run. If the platform
-    refuses to start worker processes (restricted sandboxes), execution
-    degrades to :class:`SerialShardExecutor` transparently.
+    reuses one warm pool across every pattern of a run. The graph ships
+    to workers through a :class:`SharedGraphPayload` — one shared-memory
+    copy of the CSR arrays that every worker attaches to zero-copy —
+    falling back to pickling the whole graph where shared memory is
+    unavailable. If the platform refuses to start worker processes
+    (restricted sandboxes), execution degrades to
+    :class:`SerialShardExecutor` transparently.
     """
 
     def __init__(self, workers: int) -> None:
@@ -165,6 +350,7 @@ class ProcessShardExecutor(ShardExecutor):
         self.workers = workers
         self._pool = None
         self._event = None
+        self._payload: SharedGraphPayload | None = None
         self._bound_to: tuple[int, int] | None = None
         self._fallback: SerialShardExecutor | None = None
 
@@ -181,11 +367,12 @@ class ProcessShardExecutor(ShardExecutor):
         except ValueError:  # platforms without fork
             ctx = mp.get_context()
         self._event = ctx.Event()
+        self._payload = export_graph(graph)
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=ctx,
             initializer=_init_shard_worker,
-            initargs=(engine, graph, self._event),
+            initargs=(engine, self._payload if self._payload is not None else graph, self._event),
         )
         self._bound_to = key
 
@@ -223,6 +410,9 @@ class ProcessShardExecutor(ShardExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._payload is not None:
+            self._payload.dispose()
+            self._payload = None
         self._event = None
         self._bound_to = None
 

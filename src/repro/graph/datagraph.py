@@ -1,76 +1,250 @@
 """The data graph: the (large) graph that patterns are mined in.
 
-Stored as per-vertex sorted numpy adjacency arrays — the representation
-the matching engines' set operations (sorted intersections/differences)
-run on, mirroring the adjacency-list layout of Peregrine/GraphPi. Vertex
-ids are dense ``0..n-1``; optional integer labels support labeled mining
-(FSM). Undirected, simple (no self-loops, no parallel edges).
+Stored in **CSR (compressed sparse row) layout**: one flat ``indptr``
+array (``int64``, length ``n + 1``) and one flat ``indices`` array
+(``int32`` when vertex ids fit, else ``int64``, length ``2m``) holding
+every vertex's sorted neighbor list back to back — the adjacency shape
+Peregrine/GraphPi read directly in their set-operation kernels.
+``neighbors(v)`` is a zero-copy read-only slice of ``indices``;
+``has_edge`` is a binary search on the shorter endpoint's row. Vertex
+ids are dense ``0..n-1``; optional integer labels support labeled
+mining (FSM). Undirected, simple (self-loops and duplicate edges are
+dropped during construction and *counted*, see
+``num_dropped_self_loops`` / ``num_duplicate_edges``).
+
+The flat layout is what the rest of the system builds on: the partition
+layer shards via ``indptr`` prefix sums, the cost model reads degree
+statistics straight off ``indptr``, and the parallel execution layer
+ships the three arrays to worker processes through
+``multiprocessing.shared_memory`` so workers attach zero-copy
+(:mod:`repro.engines.execution`).
 """
 
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 
+def _index_dtype(num_vertices: int) -> np.dtype:
+    """Narrowest integer dtype that holds every vertex id."""
+    return np.dtype(np.int32 if num_vertices <= np.iinfo(np.int32).max else np.int64)
+
+
 class DataGraph:
-    """Immutable undirected data graph with sorted adjacency arrays."""
+    """Immutable undirected data graph in flat CSR adjacency layout."""
 
     def __init__(
         self,
         num_vertices: int,
-        edges: Iterable[tuple[int, int]],
+        edges: Iterable[tuple[int, int]] | np.ndarray,
         labels: Sequence[int] | None = None,
         name: str = "graph",
     ) -> None:
         if num_vertices < 1:
             raise ValueError("graph needs at least one vertex")
-        self.name = name
-        self.num_vertices = num_vertices
 
-        pair_set: set[tuple[int, int]] = set()
-        for u, v in edges:
-            if u == v:
-                continue  # drop self-loops silently (standard cleaning step)
-            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
-                raise ValueError(f"edge ({u}, {v}) out of range")
-            pair_set.add((u, v) if u < v else (v, u))
-        self.num_edges = len(pair_set)
+        if isinstance(edges, np.ndarray):
+            pairs = np.ascontiguousarray(edges, dtype=np.int64)
+        else:
+            pairs = np.array(list(edges), dtype=np.int64)
+        if pairs.size == 0:
+            pairs = pairs.reshape(0, 2)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("edges must be (u, v) pairs")
 
-        neighbor_lists: list[list[int]] = [[] for _ in range(num_vertices)]
-        for u, v in pair_set:
-            neighbor_lists[u].append(v)
-            neighbor_lists[v].append(u)
-        self._adjacency: list[np.ndarray] = [
-            np.array(sorted(ns), dtype=np.int64) for ns in neighbor_lists
-        ]
-        self._edge_set = frozenset(pair_set)
+        # Clean the edge stream fully vectorized (no Python pair-sets):
+        # drop self-loops, canonicalize to (min, max), dedupe via a packed
+        # 1-D key — counting what was dropped instead of hiding it.
+        loops = pairs[:, 0] == pairs[:, 1]
+        num_self_loops = int(np.count_nonzero(loops))
+        if num_self_loops:
+            pairs = pairs[~loops]
 
+        if pairs.size and (pairs.min() < 0 or pairs.max() >= num_vertices):
+            bad = pairs[
+                (pairs[:, 0] < 0)
+                | (pairs[:, 0] >= num_vertices)
+                | (pairs[:, 1] < 0)
+                | (pairs[:, 1] >= num_vertices)
+            ][0]
+            raise ValueError(f"edge ({bad[0]}, {bad[1]}) out of range")
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        key = lo * np.int64(num_vertices) + hi  # n < 2^31.5 always holds here
+        unique_keys = np.unique(key)
+        num_duplicates = len(key) - len(unique_keys)
+        lo = (unique_keys // num_vertices).astype(np.int64)
+        hi = (unique_keys % num_vertices).astype(np.int64)
+
+        dtype = _index_dtype(num_vertices)
+        heads = np.concatenate([lo, hi])
+        tails = np.concatenate([hi, lo]).astype(dtype)
+        counts = np.bincount(heads, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.lexsort((tails, heads))
+        indices = tails[order]
+
+        labels_arr = None
         if labels is not None:
             labels_arr = np.asarray(labels, dtype=np.int64)
             if labels_arr.shape != (num_vertices,):
                 raise ValueError("labels must have one entry per vertex")
-            self.labels: np.ndarray | None = labels_arr
-        else:
-            self.labels = None
+
+        self._init_from_csr(
+            num_vertices,
+            indptr,
+            indices,
+            labels_arr,
+            name=name,
+            num_dropped_self_loops=num_self_loops,
+            num_duplicate_edges=num_duplicates,
+        )
+
+    def _init_from_csr(
+        self,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: np.ndarray | None,
+        name: str,
+        num_dropped_self_loops: int = 0,
+        num_duplicate_edges: int = 0,
+    ) -> None:
+        self.name = name
+        self.num_vertices = num_vertices
+        self.num_edges = len(indices) // 2
+        self.num_dropped_self_loops = num_dropped_self_loops
+        self.num_duplicate_edges = num_duplicate_edges
+        # Read-only flat arrays: every neighbors() slice inherits the
+        # flag, so kernels cannot scribble on shared adjacency.
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        self._indptr = indptr
+        self._indices = indices
+        if labels is not None:
+            labels.flags.writeable = False
+        self.labels: np.ndarray | None = labels
+
+    @classmethod
+    def from_csr(
+        cls,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: np.ndarray | None = None,
+        name: str = "graph",
+        num_dropped_self_loops: int = 0,
+        num_duplicate_edges: int = 0,
+        validate: bool = True,
+    ) -> "DataGraph":
+        """Wrap pre-built CSR arrays without copying or re-cleaning.
+
+        This is the zero-copy entry point: the arrays are adopted as-is
+        (and marked read-only), which is how shared-memory workers and
+        fast loaders reconstruct a graph. ``validate`` runs cheap shape
+        and monotonicity checks only — callers guarantee sorted rows.
+        """
+        if validate:
+            if len(indptr) != num_vertices + 1:
+                raise ValueError("indptr must have num_vertices + 1 entries")
+            if int(indptr[0]) != 0 or int(indptr[-1]) != len(indices):
+                raise ValueError("indptr must span [0, len(indices)]")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+        graph = cls.__new__(cls)
+        graph._init_from_csr(
+            num_vertices,
+            indptr,
+            indices,
+            labels,
+            name=name,
+            num_dropped_self_loops=num_dropped_self_loops,
+            num_duplicate_edges=num_duplicate_edges,
+        )
+        return graph
+
+    # -- CSR access --------------------------------------------------------
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Row-pointer array (``int64``, length ``num_vertices + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Flat sorted neighbor array (length ``2 * num_edges``)."""
+        return self._indices
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """The full storage: ``(indptr, indices, labels-or-None)``."""
+        return self._indptr, self._indices, self.labels
 
     # -- basic queries ---------------------------------------------------
 
+    @cached_property
+    def _rows(self) -> list[np.ndarray]:
+        """Per-vertex zero-copy views into ``indices``, built once.
+
+        ``np.split`` hands back n read-only views of the flat neighbor
+        array (they inherit the writeable=False flag); caching them makes
+        ``neighbors(v)`` a plain list index — the same cost as the old
+        per-vertex adjacency — while every view still aliases the single
+        CSR buffer.
+        """
+        return np.split(self._indices, self._indptr[1:-1])
+
+    @cached_property
+    def _degree_list(self) -> list[int]:
+        """Plain-int degree per vertex, for O(1) ``degree()`` calls."""
+        return np.diff(self._indptr).tolist()
+
+    @cached_property
+    def _edge_keys(self) -> set[int]:
+        """Packed ``lo * n + hi`` keys for O(1) ``has_edge`` probes.
+
+        Built lazily on the first ``has_edge`` call: bulk membership work
+        should use the sorted CSR rows (searchsorted), but per-edge probe
+        loops (oracles, validators, rewiring) need the hash-set constant
+        factor.
+        """
+        edges = self._edge_array
+        keys = edges[:, 0] * np.int64(self.num_vertices) + edges[:, 1]
+        return set(keys.tolist())
+
     def neighbors(self, v: int) -> np.ndarray:
-        """Sorted neighbor ids of ``v`` (do not mutate)."""
-        return self._adjacency[v]
+        """Sorted neighbor ids of ``v`` — a zero-copy read-only CSR slice."""
+        return self._rows[v]
 
     def degree(self, v: int) -> int:
-        return len(self._adjacency[v])
+        return self._degree_list[v]
 
     def has_edge(self, u: int, v: int) -> bool:
-        return ((u, v) if u < v else (v, u)) in self._edge_set
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            return False
+        key = u * self.num_vertices + v if u < v else v * self.num_vertices + u
+        return key in self._edge_keys
 
-    def edges(self) -> Iterable[tuple[int, int]]:
-        """Iterate edges as ``(u, v)`` with ``u < v``."""
-        return iter(self._edge_set)
+    @cached_property
+    def _edge_array(self) -> np.ndarray:
+        """``(num_edges, 2)`` array of ``u < v`` pairs in lexicographic order."""
+        heads = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self._indptr)
+        )
+        tails = self._indices.astype(np.int64, copy=False)
+        mask = tails > heads
+        return np.column_stack([heads[mask], tails[mask]])
+
+    def edge_array(self) -> np.ndarray:
+        """Edges as a ``(num_edges, 2)`` int array with ``u < v`` rows."""
+        return self._edge_array
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges as ``(u, v)`` with ``u < v`` (lexicographic order)."""
+        return iter(map(tuple, self._edge_array.tolist()))
 
     def label(self, v: int) -> int | None:
         return None if self.labels is None else int(self.labels[v])
@@ -81,7 +255,8 @@ class DataGraph:
 
     @cached_property
     def degrees(self) -> np.ndarray:
-        return np.array([len(a) for a in self._adjacency], dtype=np.int64)
+        """Per-vertex degrees — one vectorized ``diff`` over ``indptr``."""
+        return np.diff(self._indptr)
 
     @cached_property
     def max_degree(self) -> int:
@@ -96,10 +271,17 @@ class DataGraph:
         """Sorted vertex-id array per label (empty dict when unlabeled)."""
         if self.labels is None:
             return {}
-        out: dict[int, list[int]] = {}
-        for v in range(self.num_vertices):
-            out.setdefault(int(self.labels[v]), []).append(v)
-        return {lab: np.array(vs, dtype=np.int64) for lab, vs in out.items()}
+        dtype = self._indices.dtype
+        order = np.argsort(self.labels, kind="stable")
+        sorted_labels = self.labels[order]
+        boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+        groups = np.split(order.astype(dtype), boundaries)
+        out = {}
+        for group in groups:
+            group.sort()
+            group.flags.writeable = False
+            out[int(self.labels[group[0]])] = group
+        return out
 
     @cached_property
     def num_labels(self) -> int:
@@ -107,7 +289,9 @@ class DataGraph:
 
     @cached_property
     def all_vertices(self) -> np.ndarray:
-        return np.arange(self.num_vertices, dtype=np.int64)
+        arr = np.arange(self.num_vertices, dtype=self._indices.dtype)
+        arr.flags.writeable = False
+        return arr
 
     def high_degree_threshold(self, percentile: float = 95.0) -> int:
         """Degree at the given percentile (cost-model enhancement, §5.2)."""
@@ -119,18 +303,18 @@ class DataGraph:
 
     def subgraph(self, vertices: Sequence[int], name: str | None = None) -> "DataGraph":
         """Induced subgraph on ``vertices``, re-indexed to ``0..k-1``."""
-        keep = sorted(set(int(v) for v in vertices))
-        remap = {v: i for i, v in enumerate(keep)}
-        edges = [
-            (remap[u], remap[v])
-            for u, v in self._edge_set
-            if u in remap and v in remap
-        ]
-        labels = None
-        if self.labels is not None:
-            labels = [int(self.labels[v]) for v in keep]
+        keep = np.unique(np.asarray(list(vertices), dtype=np.int64))
+        remap = np.full(self.num_vertices, -1, dtype=np.int64)
+        remap[keep] = np.arange(len(keep))
+        edges = self._edge_array
+        mask = (remap[edges[:, 0]] >= 0) & (remap[edges[:, 1]] >= 0)
+        remapped = remap[edges[mask]]
+        labels = self.labels[keep] if self.labels is not None else None
         return DataGraph(
-            len(keep), edges, labels=labels, name=name or f"{self.name}-sub"
+            len(keep),
+            remapped,
+            labels=labels,
+            name=name or f"{self.name}-sub",
         )
 
     def __repr__(self) -> str:

@@ -23,7 +23,7 @@ def erdos_renyi(
     rng = np.random.default_rng(seed)
     iu, ju = np.triu_indices(num_vertices, k=1)
     mask = rng.random(len(iu)) < edge_prob
-    edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    edges = np.column_stack([iu[mask], ju[mask]])
     return DataGraph(num_vertices, edges, name=name)
 
 
@@ -147,7 +147,7 @@ def assign_labels(
 
     return DataGraph(
         graph.num_vertices,
-        list(graph.edges()),
+        graph.edge_array(),
         labels=labels.tolist(),
         name=graph.name,
     )
@@ -205,7 +205,7 @@ def rewire(graph: DataGraph, swaps: int | None = None, seed: int = 0) -> DataGra
     to ``10 * |E|`` attempted swaps.
     """
     rng = np.random.default_rng(seed)
-    edges = [list(e) for e in sorted(graph.edges())]
+    edges = [list(e) for e in graph.edge_array().tolist()]
     if len(edges) < 2:
         return DataGraph(
             graph.num_vertices,

@@ -10,6 +10,8 @@ from __future__ import annotations
 import os
 from typing import Iterable
 
+import numpy as np
+
 from repro.graph.datagraph import DataGraph
 
 
@@ -18,9 +20,13 @@ def load_edge_list(
     label_path: str | os.PathLike | None = None,
     name: str | None = None,
 ) -> DataGraph:
-    """Load a graph from an edge-list file, remapping ids densely."""
-    raw_edges: list[tuple[int, int]] = []
-    seen_ids: set[int] = set()
+    """Load a graph from an edge-list file, remapping ids densely.
+
+    The parsed endpoints go straight into a flat numpy array and from
+    there into the CSR builder — no Python pair-set is materialized at
+    any point of the pipeline.
+    """
+    endpoints: list[int] = []
 
     with open(path) as f:
         for line in f:
@@ -30,18 +36,20 @@ def load_edge_list(
             parts = line.split()
             if len(parts) < 2:
                 raise ValueError(f"malformed edge line: {line!r}")
-            u, v = int(parts[0]), int(parts[1])
-            raw_edges.append((u, v))
-            seen_ids.add(u)
-            seen_ids.add(v)
+            endpoints.append(int(parts[0]))
+            endpoints.append(int(parts[1]))
 
-    # Compact ids in numeric order, so already-dense files load unchanged.
-    ids = {raw: dense for dense, raw in enumerate(sorted(seen_ids))}
-    raw_edges = [(ids[u], ids[v]) for u, v in raw_edges]
+    flat = np.array(endpoints, dtype=np.int64)
+    # Compact ids in numeric order, so already-dense files load unchanged:
+    # unique() hands back the sorted id table and the dense inverse.
+    raw_ids, dense = np.unique(flat, return_inverse=True)
+    edges = dense.reshape(-1, 2)
+    num_vertices = len(raw_ids)
 
     labels = None
     if label_path is not None:
-        labels = [0] * len(ids)
+        ids = {int(raw): i for i, raw in enumerate(raw_ids)}
+        labels = np.zeros(num_vertices, dtype=np.int64)
         with open(label_path) as f:
             for line in f:
                 line = line.strip()
@@ -53,7 +61,7 @@ def load_edge_list(
                     labels[ids[v]] = int(lab_str)
 
     graph_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
-    return DataGraph(len(ids), raw_edges, labels=labels, name=graph_name)
+    return DataGraph(num_vertices, edges, labels=labels, name=graph_name)
 
 
 def save_edge_list(
@@ -64,8 +72,8 @@ def save_edge_list(
     """Write a graph (and optionally labels) back to disk."""
     with open(path, "w") as f:
         f.write(f"# {graph.name}: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
-        for u, v in sorted(graph.edges()):
-            f.write(f"{u} {v}\n")
+        # The CSR edge array is already in sorted (u, v) order.
+        f.writelines(f"{u} {v}\n" for u, v in graph.edge_array().tolist())
     if label_path is not None:
         if not graph.is_labeled:
             raise ValueError("graph has no labels to save")
@@ -154,7 +162,7 @@ def save_json_graph(graph: DataGraph, path: str | os.PathLike) -> None:
     data: dict = {
         "name": graph.name,
         "num_vertices": graph.num_vertices,
-        "edges": sorted(list(e) for e in graph.edges()),
+        "edges": graph.edge_array().tolist(),
     }
     if graph.is_labeled:
         data["labels"] = [graph.label(v) for v in range(graph.num_vertices)]

@@ -82,6 +82,10 @@ def shard_by_degree_prefix(
     top-level exploration mass — the shard-parallel execution layer's
     analogue of Peregrine/GraphPi's vertex-range task decomposition.
 
+    The CSR ``indptr`` array *is* the degree prefix sum, so the weights
+    come straight off the graph's row pointers — no per-vertex loop and
+    no materialized degree array.
+
     Deterministic: the same graph and shard count always yield the same
     windows, which is what makes shard-order merges reproducible.
     """
@@ -92,8 +96,8 @@ def shard_by_degree_prefix(
         return [(0, n)]
     if num_shards >= n:
         return [(v, v + 1) for v in range(n)]
-    weights = graph.degrees + 1
-    prefix = np.cumsum(weights)
+    # prefix[v] = sum_{w <= v} (degree(w) + 1) = indptr[v + 1] + (v + 1).
+    prefix = graph.indptr[1:] + np.arange(1, n + 1, dtype=np.int64)
     total = int(prefix[-1])
     targets = [total * k // num_shards for k in range(1, num_shards)]
     cuts = np.searchsorted(prefix, targets, side="left") + 1

@@ -35,8 +35,9 @@ class TestCompareWorkload:
         )
         fields = row.csv().split(",")
         assert fields[0] == "tri"
-        assert len(fields) == 6
-        assert fields[-1] == "1"  # serial by default
+        assert len(fields) == 7
+        assert fields[-2] == "1"  # serial by default
+        assert int(fields[-1]) > 0  # peak RSS of a live process is nonzero
 
     def test_workers_recorded(self, small_graph):
         row = compare_workload(
@@ -47,8 +48,15 @@ class TestCompareWorkload:
             workers=4,
         )
         assert row.workers == 4
-        assert row.csv().split(",")[-1] == "4"
+        assert row.csv().split(",")[-2] == "4"
         assert row.results_equal
+
+    def test_peak_rss_recorded(self, small_graph):
+        row = compare_workload(
+            PeregrineEngine, small_graph, [TRIANGLE], workload="tri"
+        )
+        # ru_maxrss high-water mark: at least the interpreter's footprint.
+        assert row.peak_rss_kib > 1024
 
 
 class TestFigureReport:

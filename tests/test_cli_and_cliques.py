@@ -88,6 +88,25 @@ class TestCliCommands:
         expected = brute_force_count(small_graph, Pattern.clique(3))
         assert str(expected) in out
 
+    def test_dirty_file_warns_once(self, capsys, tmp_path):
+        path = tmp_path / "dirty.edges"
+        path.write_text("0 1\n1 0\n2 2\n1 2\n")
+        assert main(
+            ["count", "--graph-file", str(path), "--pattern", "triangle"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "dropped 1 self-loops and 1 duplicate edges" in err
+
+    def test_clean_file_stays_quiet(self, capsys, tmp_path, small_graph):
+        from repro.graph.io import save_edge_list
+
+        path = tmp_path / "g.edges"
+        save_edge_list(small_graph, path)
+        assert main(
+            ["count", "--graph-file", str(path), "--pattern", "triangle"]
+        ) == 0
+        assert "dropped" not in capsys.readouterr().err
+
     def test_count_baseline_flag(self, capsys, tmp_path, small_graph):
         from repro.graph.io import save_edge_list
 

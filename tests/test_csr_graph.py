@@ -1,0 +1,256 @@
+"""CSR storage tests: invariants, differential checks, I/O round-trips.
+
+The differential suite pins the CSR-backed :class:`DataGraph` against a
+deliberately naive dict-of-sets adjacency built independently from the
+same edge stream — the representation the CSR refactor replaced. Any
+divergence in neighbors, degrees, edge probes, or triangle counts is a
+storage-layer bug by construction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engines import setops
+from repro.engines.base import EngineStats
+from repro.graph.datagraph import DataGraph
+from repro.graph.io import (
+    load_edge_list,
+    load_json_graph,
+    save_edge_list,
+    save_json_graph,
+)
+
+
+class DictOfSetsGraph:
+    """The old-world reference: one Python set per vertex, no numpy."""
+
+    def __init__(self, num_vertices, edges):
+        self.num_vertices = num_vertices
+        self.adj = {v: set() for v in range(num_vertices)}
+        for u, v in edges:
+            if u != v:
+                self.adj[u].add(v)
+                self.adj[v].add(u)
+
+    def neighbors(self, v):
+        return sorted(self.adj[v])
+
+    def degree(self, v):
+        return len(self.adj[v])
+
+    def has_edge(self, u, v):
+        return v in self.adj.get(u, ())
+
+    def triangles(self):
+        return sum(
+            1
+            for a, b, c in combinations(range(self.num_vertices), 3)
+            if b in self.adj[a] and c in self.adj[a] and c in self.adj[b]
+        )
+
+
+def _csr_triangles(graph: DataGraph) -> int:
+    """Triangle count straight off the CSR rows via the set-op kernels."""
+    stats = EngineStats()
+    total = 0
+    for u, v in graph.edges():
+        common = setops.intersect(
+            graph.neighbors(u), graph.neighbors(v), stats.setops
+        )
+        # Symmetry-break: count each triangle once at its smallest edge.
+        total += int(np.count_nonzero(common > v))
+    return total
+
+
+@st.composite
+def raw_edge_streams(draw, max_n: int = 12):
+    """Messy edge streams: self-loops and duplicates included on purpose."""
+    n = draw(st.integers(2, max_n))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=3 * n,
+        )
+    )
+    return n, edges
+
+
+class TestCsrInvariants:
+    def test_structure(self, small_graph):
+        indptr, indices, labels = small_graph.csr_arrays()
+        assert indptr.dtype == np.int64
+        assert len(indptr) == small_graph.num_vertices + 1
+        assert indptr[0] == 0
+        assert indptr[-1] == len(indices) == 2 * small_graph.num_edges
+        assert np.all(np.diff(indptr) >= 0)
+        for v in range(small_graph.num_vertices):
+            row = indices[indptr[v] : indptr[v + 1]]
+            assert np.all(np.diff(row) > 0), "rows must be sorted and unique"
+
+    def test_small_graph_uses_int32_indices(self, small_graph):
+        assert small_graph.indices.dtype == np.int32
+
+    def test_arrays_read_only(self, small_graph):
+        indptr, indices, _ = small_graph.csr_arrays()
+        with pytest.raises(ValueError):
+            indptr[0] = 1
+        with pytest.raises(ValueError):
+            indices[0] = 1
+
+    def test_neighbors_alias_csr_buffer(self, small_graph):
+        nb = small_graph.neighbors(0)
+        assert not nb.flags.writeable
+        assert not nb.flags.owndata
+        assert nb.base is small_graph.indices or nb.base is small_graph.indices.base
+        with pytest.raises(ValueError):
+            nb[0] = 99
+
+    def test_labels_read_only(self, small_labeled_graph):
+        with pytest.raises(ValueError):
+            small_labeled_graph.labels[0] = 5
+
+
+class TestEdgeCleaning:
+    def test_self_loops_counted(self):
+        g = DataGraph(4, [(0, 1), (2, 2), (1, 3), (3, 3)])
+        assert g.num_edges == 2
+        assert g.num_dropped_self_loops == 2
+        assert g.num_duplicate_edges == 0
+
+    def test_duplicates_counted_across_orientations(self):
+        g = DataGraph(4, [(0, 1), (1, 0), (0, 1), (2, 3)])
+        assert g.num_edges == 2
+        assert g.num_duplicate_edges == 2
+        assert g.num_dropped_self_loops == 0
+
+    def test_clean_stream_reports_zero(self):
+        g = DataGraph(3, [(0, 1), (1, 2)])
+        assert g.num_dropped_self_loops == 0
+        assert g.num_duplicate_edges == 0
+
+    def test_counts_survive_subgraph_rebuild(self):
+        g = DataGraph(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.num_dropped_self_loops == 0
+        assert sub.num_duplicate_edges == 0
+
+
+class TestFromCsr:
+    def test_adopts_arrays_without_copy(self, small_graph):
+        indptr, indices, _ = small_graph.csr_arrays()
+        g = DataGraph.from_csr(small_graph.num_vertices, indptr, indices)
+        assert g.indptr is indptr
+        assert g.indices is indices
+        assert g.num_edges == small_graph.num_edges
+
+    def test_matches_builder(self, small_graph):
+        g = DataGraph.from_csr(
+            small_graph.num_vertices,
+            small_graph.indptr,
+            small_graph.indices,
+            name=small_graph.name,
+        )
+        assert np.array_equal(g.edge_array(), small_graph.edge_array())
+        assert list(g.edges()) == list(small_graph.edges())
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            DataGraph.from_csr(
+                3,
+                np.array([0, 2, 1, 2], dtype=np.int64),
+                np.array([1, 0], dtype=np.int32),
+            )
+        with pytest.raises(ValueError):
+            DataGraph.from_csr(
+                2,
+                np.array([0, 1], dtype=np.int64),
+                np.array([1, 0], dtype=np.int32),
+            )
+
+
+class TestDifferentialVsDictOfSets:
+    @given(raw_edge_streams())
+    @settings(max_examples=120, deadline=None)
+    def test_neighbors_degree_has_edge(self, stream):
+        n, edges = stream
+        csr = DataGraph(n, edges)
+        ref = DictOfSetsGraph(n, edges)
+        for v in range(n):
+            assert csr.neighbors(v).tolist() == ref.neighbors(v)
+            assert csr.degree(v) == ref.degree(v)
+        for u in range(n):
+            for v in range(n):
+                assert csr.has_edge(u, v) == ref.has_edge(u, v), (u, v)
+        assert np.array_equal(csr.degrees, [ref.degree(v) for v in range(n)])
+
+    @given(raw_edge_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_counts(self, stream):
+        n, edges = stream
+        csr = DataGraph(n, edges)
+        ref = DictOfSetsGraph(n, edges)
+        assert _csr_triangles(csr) == ref.triangles()
+
+    @given(raw_edge_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_iteration_matches(self, stream):
+        n, edges = stream
+        csr = DataGraph(n, edges)
+        expected = sorted(
+            {(min(u, v), max(u, v)) for u, v in edges if u != v}
+        )
+        assert list(csr.edges()) == expected
+        assert csr.edge_array().tolist() == [list(e) for e in expected]
+
+    @given(raw_edge_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_cleaning_counters(self, stream):
+        n, edges = stream
+        csr = DataGraph(n, edges)
+        loops = sum(1 for u, v in edges if u == v)
+        unique = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+        assert csr.num_dropped_self_loops == loops
+        assert csr.num_duplicate_edges == (len(edges) - loops) - len(unique)
+        assert csr.num_edges == len(unique)
+
+
+class TestIORoundTrip:
+    def _assert_same_csr(self, a: DataGraph, b: DataGraph) -> None:
+        assert b.num_vertices == a.num_vertices
+        assert np.array_equal(b.indptr, a.indptr)
+        assert np.array_equal(b.indices, a.indices)
+        assert b.indices.dtype == a.indices.dtype
+
+    def test_edge_list_round_trip_unlabeled(self, small_graph, tmp_path):
+        path = tmp_path / "g.edges"
+        save_edge_list(small_graph, path)
+        loaded = load_edge_list(path)
+        self._assert_same_csr(small_graph, loaded)
+        assert loaded.labels is None
+
+    def test_edge_list_round_trip_labeled(self, small_labeled_graph, tmp_path):
+        path = tmp_path / "g.edges"
+        label_path = tmp_path / "g.labels"
+        save_edge_list(small_labeled_graph, path, label_path)
+        loaded = load_edge_list(path, label_path)
+        self._assert_same_csr(small_labeled_graph, loaded)
+        assert np.array_equal(loaded.labels, small_labeled_graph.labels)
+
+    def test_json_round_trip_labeled(self, small_labeled_graph, tmp_path):
+        path = tmp_path / "g.json"
+        save_json_graph(small_labeled_graph, path)
+        loaded = load_json_graph(path)
+        self._assert_same_csr(small_labeled_graph, loaded)
+        assert np.array_equal(loaded.labels, small_labeled_graph.labels)
+
+    def test_loader_compacts_sparse_ids(self, tmp_path):
+        path = tmp_path / "sparse.edges"
+        path.write_text("# comment\n10 20\n20 30\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 3
+        assert list(g.edges()) == [(0, 1), (1, 2)]
