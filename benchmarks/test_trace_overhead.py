@@ -1,0 +1,150 @@
+"""Telemetry overhead and end-to-end trace acceptance benchmarks.
+
+Two claims. First, the overhead claim behind the tracer's design: with
+tracing **off** (the default), the instrumentation must be invisible —
+the hot path pays one ``tracer is None`` test per kernel invocation and
+nothing else, so the disabled-path cost extrapolated over a real run's
+kernel-call count must stay under 2% of that run's wall time. The
+traced-on/off wall ratio is recorded alongside for the report (tracing
+on is allowed to cost more; it trades engine-native batching for
+per-item measurement).
+
+Second, the acceptance scenario for the telemetry subsystem as a whole:
+a traced morphed 4-motif run on the 4k-vertex generator graph must
+produce a JSONL trace whose span nesting validates, whose per-stage
+sums reconcile with the result's ``*_seconds`` fields, and which holds
+one cost-model audit record per measured alternative with both the
+predicted and the measured side populated.
+
+``REPRO_BENCH_RECORD_ONLY=1`` disables the timing assertions (CI smoke
+mode); the structural acceptance assertions always run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.harness import timed
+from repro.core.atlas import motif_patterns
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.morph.session import MorphingSession
+from repro.observe import Tracer, load_trace, write_jsonl
+from repro.observe.tracer import timed_span
+
+from benchmarks.test_parallel_scaling import scale_graph  # noqa: F401  (fixture)
+
+#: Tracing-off overhead ceiling relative to run wall time.
+OVERHEAD_CEILING = 0.02
+#: Record measurements without asserting timing floors (CI smoke mode).
+RECORD_ONLY = os.environ.get("REPRO_BENCH_RECORD_ONLY", "") not in ("", "0")
+
+
+def _disabled_primitive_seconds(calls: int) -> float:
+    """Cost of ``calls`` disabled kernel-span entries (tracer off)."""
+    engine = PeregrineEngine()
+    assert engine.tracer is None
+    start = time.perf_counter()
+    for _ in range(calls):
+        with engine.kernel_span("kernel"):
+            pass
+    return time.perf_counter() - start
+
+
+def test_tracing_off_overhead_under_2pct(scale_graph, benchmark):  # noqa: F811
+    """Disabled instrumentation must cost <2% of a serial 3-MC run.
+
+    Measured as (disabled-path primitive cost) × (kernel invocations the
+    run actually makes), against the run's wall time — a bound on what
+    the instrumentation *can* add, immune to run-to-run noise in the
+    full pipeline.
+    """
+    patterns = list(motif_patterns(3))
+    result, run_seconds = benchmark.pedantic(
+        lambda: timed(
+            lambda: MorphingSession(PeregrineEngine(), enabled=True).run(
+                scale_graph, patterns
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    kernel_calls = max(1, result.stats.patterns_matched)
+    primitive_seconds = _disabled_primitive_seconds(kernel_calls)
+    overhead = primitive_seconds / run_seconds if run_seconds > 0 else 0.0
+
+    _, traced_seconds = timed(
+        lambda: MorphingSession(PeregrineEngine(), tracer=Tracer()).run(
+            scale_graph, patterns
+        )
+    )
+
+    benchmark.extra_info["workload"] = "3-MC serial"
+    benchmark.extra_info["graph"] = scale_graph.name
+    benchmark.extra_info["run_s"] = round(run_seconds, 4)
+    benchmark.extra_info["kernel_calls"] = kernel_calls
+    benchmark.extra_info["disabled_overhead_pct"] = round(100 * overhead, 4)
+    benchmark.extra_info["traced_s"] = round(traced_seconds, 4)
+    benchmark.extra_info["traced_ratio"] = round(
+        traced_seconds / run_seconds if run_seconds > 0 else 1.0, 3
+    )
+
+    if not RECORD_ONLY:
+        assert overhead < OVERHEAD_CEILING, (
+            f"tracing-off instrumentation costs {100 * overhead:.2f}% of the "
+            f"run ({kernel_calls} kernel calls), ceiling is "
+            f"{100 * OVERHEAD_CEILING:.0f}%"
+        )
+
+
+def test_timed_span_disabled_path_is_cheap(benchmark):
+    """The phase-timer shim without a tracer is a bare stopwatch."""
+    def spin():
+        for _ in range(10_000):
+            with timed_span(None, "phase"):
+                pass
+
+    benchmark.pedantic(spin, rounds=1, iterations=1)
+
+
+def test_traced_4motif_acceptance(scale_graph, tmp_path, benchmark):  # noqa: F811
+    """The ISSUE's acceptance scenario, end to end on the 4k graph."""
+    patterns = list(motif_patterns(4))
+    tracer = Tracer()
+    result, seconds = benchmark.pedantic(
+        lambda: timed(
+            lambda: MorphingSession(PeregrineEngine(), tracer=tracer).run(
+                scale_graph, patterns
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    path = tmp_path / "morphed-4mc.jsonl"
+    write_jsonl(result.trace, path)
+    trace = load_trace(path)
+    benchmark.extra_info["graph"] = scale_graph.name
+    benchmark.extra_info["run_s"] = round(seconds, 4)
+    benchmark.extra_info["spans"] = len(trace.spans)
+    benchmark.extra_info["audits"] = len(trace.audits)
+
+    # Span nesting holds after the JSONL round trip.
+    trace.validate_nesting()
+
+    # Per-stage sums reconcile with the result's phase fields exactly
+    # (they are the same timers); the round trip may lose float digits
+    # to JSON, hence the tiny slack.
+    stages = trace.stage_seconds()
+    assert abs(stages["transform"] - result.transform_seconds) < 1e-6
+    assert abs(stages["match"] - result.match_seconds) < 1e-6
+    assert abs(stages["convert"] - result.convert_seconds) < 1e-6
+
+    # One audit record per measured alternative, predictions and
+    # measurements both populated.
+    per_item = [a for a in trace.audits if a.role != "selection"]
+    assert len(per_item) == len(result.measured)
+    for record in per_item:
+        assert record.predicted_cost > 0.0
+        assert record.measured_seconds > 0.0
+        assert record.measured_matches is not None
+    assert sum(1 for a in trace.audits if a.role == "selection") == 1

@@ -1,27 +1,42 @@
 """repro — reproduction of "Accelerating Graph Mining Systems with
 Subgraph Morphing" (Jamshidi, Xu & Vora, EuroSys 2023).
 
-Public API quick tour::
+Public API quick tour — one call does the whole pipeline::
 
-    from repro import (
-        Pattern, DataGraph, MorphingSession,
-        PeregrineEngine, AutoZeroEngine, GraphPiEngine, BigJoinEngine,
-    )
+    import repro
     from repro.graph import datasets
-    from repro.core.atlas import motif_patterns
 
     graph = datasets.mico()
-    session = MorphingSession(PeregrineEngine())          # morphing on
-    result = session.run(graph, list(motif_patterns(4)))  # 4-motif counting
+    result = repro.run(graph, repro.motif_patterns(4))   # morphed 4-motifs
     # result.results: {pattern: count}; result.stats: engine counters
+
+    # Pick an engine, go parallel, capture a structured trace:
+    result = repro.run(graph, repro.motif_patterns(4),
+                       engine="autozero", workers=4, trace="run.jsonl")
+    result.trace.stage_seconds()      # {"transform": ..., "match": ..., ...}
+    result.trace.audits               # cost-model predictions vs measurements
+
+    # Baseline (no morphing) for comparison — results are identical:
+    baseline = repro.run(graph, repro.motif_patterns(4), morph=False)
+
+``repro.run`` accepts an engine name (``"peregrine"``, ``"autozero"``,
+``"graphpi"``, ``"bigjoin"``, ``"sumpa"``), keyword-only config
+(``aggregation``, ``morph``, ``workers``, ``margin``, ``cache``,
+``trace``) and returns a :class:`MorphRunResult`. Construct a
+:class:`MorphingSession` directly for streaming mode
+(:meth:`~MorphingSession.run_streaming`) or a caller-owned executor;
+:class:`Tracer` + :class:`repro.observe.RunTrace` are the telemetry
+surface (see ``docs/cookbook.md``, "Profiling a run").
 
 Layout: ``repro.core`` is the paper's contribution (patterns, the
 morphing algebra, S-DAG, cost model, selection, result conversion);
-``repro.engines`` holds the four system substrates; ``repro.apps`` the
+``repro.engines`` holds the five system substrates; ``repro.apps`` the
 mining applications (MC, SC, SE, FSM); ``repro.morph`` the end-to-end
-pipeline; ``repro.graph`` data graphs, generators and dataset stand-ins.
+pipeline; ``repro.observe`` structured run telemetry; ``repro.graph``
+data graphs, generators and dataset stand-ins.
 """
 
+from repro.api import ENGINES, resolve_engine, run
 from repro.core.aggregation import (
     Aggregation,
     CountAggregation,
@@ -57,17 +72,29 @@ from repro.morph.session import (
     MorphRunResult,
     compare_baseline_and_morphed,
 )
+from repro.observe import (
+    CostAuditRecord,
+    MetricsRegistry,
+    RunTrace,
+    Span,
+    Tracer,
+    load_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Aggregation",
     "AutoZeroEngine",
     "BigJoinEngine",
+    "CostAuditRecord",
     "CostModel",
     "CountAggregation",
     "DataGraph",
     "EDGE_INDUCED",
+    "ENGINES",
     "EngineCostProfile",
     "EngineStats",
     "EVALUATION_PATTERNS",
@@ -75,6 +102,8 @@ __all__ = [
     "GraphModel",
     "GraphPiEngine",
     "MatchListAggregation",
+    "MeasurementCache",
+    "MetricsRegistry",
     "MiningEngine",
     "MNIAggregation",
     "MorphingSession",
@@ -82,21 +111,28 @@ __all__ = [
     "NAMED_PATTERNS",
     "Pattern",
     "PeregrineEngine",
+    "RunTrace",
     "SDag",
+    "Span",
     "SumPAEngine",
+    "Tracer",
     "VERTEX_INDUCED",
     "all_connected_patterns",
     "are_isomorphic",
     "canonical_form",
-    "MeasurementCache",
     "compare_baseline_and_morphed",
     "enumerate_alternative_sets",
     "format_pattern",
+    "load_trace",
     "morph_equation",
-    "parse_pattern",
     "motif_patterns",
+    "parse_pattern",
     "pattern_id",
     "pattern_name",
+    "resolve_engine",
+    "run",
     "select_alternative_patterns",
     "solve_query",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

@@ -1,0 +1,69 @@
+"""Deprecation shims for public-API signature changes.
+
+Policy (documented in ``docs/architecture.md``, "Deprecation policy"):
+a changed public signature keeps accepting the old calling convention
+for **one release**, routed through this module so every shim warns a
+:class:`DeprecationWarning` exactly once per process and per call site
+kind, then behaves exactly like the new convention. The next release
+deletes the shim.
+
+Current shims:
+
+* ``MorphingSession(engine, aggregation, ...)`` positional configuration
+  arguments — the session's config is keyword-only as of 1.1; positional
+  values after ``engine`` are remapped here.
+* ``compare_baseline_and_morphed(..., aggregation)`` positional
+  ``aggregation`` — same keyword-only migration.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+__all__ = ["positional_config", "warn_once"]
+
+#: Shim keys that have already warned in this process.
+_warned: set[str] = set()
+
+
+def _reset() -> None:
+    """Forget emitted warnings (test isolation hook, not public API)."""
+    _warned.clear()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` once per process.
+
+    The standard ``default`` warning filter already dedupes per call
+    site, but test runners routinely reset filters; tracking emitted
+    keys here keeps the "warns exactly once" contract independent of
+    the ambient filter state.
+    """
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def positional_config(
+    func: str, names: tuple[str, ...], args: tuple[Any, ...]
+) -> dict[str, Any]:
+    """Map deprecated positional config arguments onto keyword names.
+
+    ``names`` is the old positional order. Returns the remapped
+    ``{name: value}`` dict after warning once for this function.
+    """
+    if len(args) > len(names):
+        raise TypeError(
+            f"{func}() takes at most {len(names)} positional "
+            f"configuration arguments ({len(args)} given)"
+        )
+    warn_once(
+        f"{func}:positional",
+        f"passing configuration to {func}() positionally is deprecated "
+        f"and will be removed in the next release; use keyword arguments "
+        f"({', '.join(names[: len(args)])})",
+        stacklevel=4,
+    )
+    return dict(zip(names, args))

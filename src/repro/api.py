@@ -1,0 +1,148 @@
+"""The one-call public facade: :func:`repro.run`.
+
+Wraps the full Subgraph Morphing pipeline — engine resolution, session
+construction, execution and optional structured telemetry — behind a
+single function, so the common case reads::
+
+    import repro
+    result = repro.run(graph, patterns)              # morphed counting
+    result = repro.run(graph, patterns, engine="autozero",
+                       workers=4, trace="run.jsonl")  # traced + parallel
+
+Everything the facade accepts is keyword-only past ``engine``; the
+session class remains available for callers that need streaming mode,
+a caller-owned executor, or engine subclassing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.aggregation import Aggregation
+from repro.core.pattern import Pattern
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.base import MiningEngine
+from repro.engines.bigjoin.engine import BigJoinEngine
+from repro.engines.graphpi.engine import GraphPiEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.engines.sumpa.engine import SumPAEngine
+from repro.graph.datagraph import DataGraph
+from repro.morph.cache import MeasurementCache
+from repro.morph.session import MorphingSession, MorphRunResult
+from repro.observe.export import write_jsonl
+from repro.observe.tracer import Tracer
+
+__all__ = ["ENGINES", "resolve_engine", "run"]
+
+#: Engine-name registry (the five substrates of Section 7).
+ENGINES: dict[str, type[MiningEngine]] = {
+    "peregrine": PeregrineEngine,
+    "autozero": AutoZeroEngine,
+    "graphpi": GraphPiEngine,
+    "bigjoin": BigJoinEngine,
+    "sumpa": SumPAEngine,
+}
+
+
+def resolve_engine(engine: str | MiningEngine | type[MiningEngine]) -> MiningEngine:
+    """Turn an engine spec into a live engine instance.
+
+    Accepts a registry name (``"peregrine"``, case-insensitive), a
+    :class:`MiningEngine` subclass, or an already-built instance (passed
+    through untouched, so callers can pre-configure e.g.
+    ``GraphPiEngine.use_iep``).
+    """
+    if isinstance(engine, MiningEngine):
+        return engine
+    if isinstance(engine, type) and issubclass(engine, MiningEngine):
+        return engine()
+    if isinstance(engine, str):
+        factory = ENGINES.get(engine.lower())
+        if factory is None:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {', '.join(sorted(ENGINES))}"
+            )
+        return factory()
+    raise TypeError(
+        f"engine must be a name, MiningEngine subclass or instance, got {engine!r}"
+    )
+
+
+def run(
+    graph: DataGraph,
+    patterns: Sequence[Pattern] | Pattern,
+    engine: str | MiningEngine | type[MiningEngine] = "peregrine",
+    *,
+    aggregation: Aggregation | None = None,
+    morph: bool = True,
+    workers: int = 1,
+    margin: float = 0.6,
+    cache: MeasurementCache | None = None,
+    trace: Any = None,
+) -> MorphRunResult:
+    """Mine ``patterns`` on ``graph`` through the morphing pipeline.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (:class:`repro.DataGraph`; see
+        :mod:`repro.graph.datasets` and :mod:`repro.graph.generators`).
+    patterns:
+        The query patterns — a sequence, or a single :class:`Pattern`.
+    engine:
+        Registry name (``"peregrine"``, ``"autozero"``, ``"graphpi"``,
+        ``"bigjoin"``, ``"sumpa"``), engine class, or instance.
+    aggregation:
+        Output mode; default :class:`repro.CountAggregation`. Counting,
+        existence, MNI-support and match-list aggregations all convert
+        through the morphing algebra.
+    morph:
+        ``False`` runs the baseline path (the unmodified engine on the
+        queries as given) — both paths return identical results.
+    workers:
+        Shard-parallel worker processes (>1 fans each pattern over
+        degree-balanced root-vertex shards; results stay identical).
+    margin:
+        Algorithm 1's profitability margin (see
+        :class:`repro.MorphingSession`).
+    cache:
+        Optional :class:`repro.MeasurementCache` reused across runs.
+    trace:
+        ``None`` (default, zero telemetry overhead), a
+        :class:`repro.Tracer` to record into, or a path — the structured
+        trace is then also written there as JSONL
+        (:func:`repro.observe.write_jsonl`; load back with
+        :func:`repro.observe.load_trace`). Either way the result's
+        ``trace`` attribute holds the :class:`repro.observe.RunTrace`.
+
+    Returns
+    -------
+    MorphRunResult
+        ``result.results`` maps each query pattern to its value;
+        ``stats``, per-phase ``*_seconds``, ``selection`` and ``trace``
+        carry the run's telemetry.
+    """
+    if isinstance(patterns, Pattern):
+        patterns = [patterns]
+    tracer: Tracer | None
+    trace_path = None
+    if trace is None:
+        tracer = None
+    elif isinstance(trace, Tracer):
+        tracer = trace
+    else:
+        tracer = Tracer()
+        trace_path = trace
+    session = MorphingSession(
+        resolve_engine(engine),
+        aggregation=aggregation,
+        enabled=morph,
+        margin=margin,
+        cache=cache,
+        workers=workers,
+        tracer=tracer,
+    )
+    result = session.run(graph, list(patterns))
+    if trace_path is not None:
+        write_jsonl(result.trace, trace_path)
+    return result

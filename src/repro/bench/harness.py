@@ -4,6 +4,13 @@ Mirrors the paper artifact's experiment scripts: every experiment emits
 CSV-style rows ``pattern, graph, morphed_time, baseline_time, speedup,
 workers`` (plus counter columns where the figure reports counters), and every row
 asserts baseline == morphed results — the correctness half of claim C1.
+
+Rows also carry the morphed run's per-stage breakdown (transform /
+match / convert / executor seconds — the same timers the run's trace
+spans report), so figure scripts can show where morphing's overhead
+lives without re-running under a profiler. ``compare_workload(...,
+trace=True)`` additionally attaches the full :class:`RunTrace` of the
+morphed run to the row.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from repro.core.pattern import Pattern
 from repro.engines.base import EngineStats, MiningEngine
 from repro.graph.datagraph import DataGraph
 from repro.morph.session import MorphingSession, MorphRunResult
+from repro.observe.export import RunTrace
+from repro.observe.tracer import Tracer
 
 
 @dataclass
@@ -35,6 +44,24 @@ class ComparisonRow:
     morphed_patterns: int
     workers: int = 1
     peak_rss_kib: int = 0
+    #: Morphed run's per-stage seconds (identical to its trace spans).
+    transform_seconds: float = 0.0
+    match_seconds: float = 0.0
+    convert_seconds: float = 0.0
+    executor_seconds: float = 0.0
+    #: The morphed run's trace when ``compare_workload(..., trace=True)``.
+    morphed_trace: RunTrace | None = None
+
+    @property
+    def dominant_stage(self) -> str:
+        """The morphed run's costliest stage (figure annotations)."""
+        stages = {
+            "transform": self.transform_seconds,
+            "match": self.match_seconds,
+            "convert": self.convert_seconds,
+            "executor": self.executor_seconds,
+        }
+        return max(stages, key=stages.get)
 
     @property
     def speedup(self) -> float:
@@ -63,7 +90,9 @@ class ComparisonRow:
         return (
             f"{self.workload},{self.graph},{self.morphed_seconds:.4f},"
             f"{self.baseline_seconds:.4f},{self.speedup:.2f},{self.workers},"
-            f"{self.peak_rss_kib}"
+            f"{self.peak_rss_kib},{self.transform_seconds:.4f},"
+            f"{self.match_seconds:.4f},{self.convert_seconds:.4f},"
+            f"{self.executor_seconds:.4f},{self.dominant_stage}"
         )
 
 
@@ -74,17 +103,26 @@ def compare_workload(
     workload: str,
     aggregation: Aggregation | None = None,
     workers: int = 1,
+    trace: bool = False,
 ) -> ComparisonRow:
     """Run one workload with and without morphing; assert equal results.
 
     ``workers > 1`` shard-parallelizes both sessions; the comparison
     stays apples-to-apples and the row records the worker count.
+    ``trace=True`` traces the morphed run (spans + metrics + cost-model
+    audits) and attaches the :class:`RunTrace` as ``row.morphed_trace``;
+    the per-stage columns are populated either way from the run's own
+    phase timers.
     """
     baseline_session = MorphingSession(
         engine_factory(), aggregation=aggregation, enabled=False, workers=workers
     )
     morphed_session = MorphingSession(
-        engine_factory(), aggregation=aggregation, enabled=True, workers=workers
+        engine_factory(),
+        aggregation=aggregation,
+        enabled=True,
+        workers=workers,
+        tracer=Tracer() if trace else None,
     )
     baseline = baseline_session.run(graph, list(patterns))
     morphed = morphed_session.run(graph, list(patterns))
@@ -105,6 +143,11 @@ def compare_workload(
         morphed_patterns=morphed_count,
         workers=workers,
         peak_rss_kib=peak_rss,
+        transform_seconds=morphed.transform_seconds,
+        match_seconds=morphed.match_seconds,
+        convert_seconds=morphed.convert_seconds,
+        executor_seconds=morphed.executor_seconds,
+        morphed_trace=morphed.trace,
     )
 
 
@@ -145,7 +188,10 @@ class FigureReport:
 
     def render(self) -> str:
         lines = [f"# {self.figure}: {self.description}"]
-        header = "workload,graph,morphed_s,baseline_s,speedup,workers,peak_rss_kib"
+        header = (
+            "workload,graph,morphed_s,baseline_s,speedup,workers,peak_rss_kib,"
+            "transform_s,match_s,convert_s,executor_s,dominant_stage"
+        )
         if self.extra_columns:
             header += "," + ",".join(self.extra_columns)
         lines.append(header)

@@ -32,22 +32,9 @@ from repro.core.atlas import (
 )
 from repro.core.equations import morph_equation
 from repro.core.pattern import Pattern
-from repro.engines.autozero.engine import AutoZeroEngine
-from repro.engines.bigjoin.engine import BigJoinEngine
-from repro.engines.graphpi.engine import GraphPiEngine
-from repro.engines.peregrine.engine import PeregrineEngine
-from repro.engines.sumpa.engine import SumPAEngine
+from repro.api import ENGINES, run
 from repro.graph import datasets
 from repro.graph.io import load_edge_list
-from repro.morph.session import MorphingSession
-
-ENGINES = {
-    "peregrine": PeregrineEngine,
-    "autozero": AutoZeroEngine,
-    "graphpi": GraphPiEngine,
-    "bigjoin": BigJoinEngine,
-    "sumpa": SumPAEngine,
-}
 
 
 def resolve_pattern(name: str) -> Pattern:
@@ -115,6 +102,16 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    """Only on subcommands that run through ``repro.run``."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a structured run trace (JSONL) to PATH "
+        "(convert with repro.observe.write_chrome_trace for flame graphs)",
+    )
+
+
 def cmd_datasets(_args) -> int:
     print(f"{'code':5s} {'name':11s} {'|V|':>7s} {'|E|':>8s} {'labels':>7s} {'maxdeg':>7s} {'avgdeg':>7s}")
     for row in datasets.summary_table():
@@ -130,25 +127,33 @@ def cmd_datasets(_args) -> int:
 def cmd_count(args) -> int:
     graph = resolve_graph(args)
     patterns = [resolve_pattern(p) for p in args.pattern]
-    session = MorphingSession(
-        ENGINES[args.engine](), enabled=not args.no_morph, workers=args.workers
+    result = run(
+        graph,
+        patterns,
+        args.engine,
+        morph=not args.no_morph,
+        workers=args.workers,
+        trace=args.trace,
     )
-    result = session.run(graph, patterns)
     for p in patterns:
         print(f"{pattern_name(p):10s} {result.results[p]}")
-    _print_footer(result)
+    _print_footer(result, trace_path=args.trace)
     return 0
 
 
 def cmd_motifs(args) -> int:
     graph = resolve_graph(args)
-    session = MorphingSession(
-        ENGINES[args.engine](), enabled=not args.no_morph, workers=args.workers
+    result = run(
+        graph,
+        list(motif_patterns(args.size)),
+        args.engine,
+        morph=not args.no_morph,
+        workers=args.workers,
+        trace=args.trace,
     )
-    result = session.run(graph, list(motif_patterns(args.size)))
     for p, c in sorted(result.results.items(), key=lambda kv: -kv[1]):
         print(f"{pattern_name(p):10s} {c}")
-    _print_footer(result)
+    _print_footer(result, trace_path=args.trace)
     return 0
 
 
@@ -213,7 +218,7 @@ def cmd_approx(args) -> int:
     return 0
 
 
-def _print_footer(result) -> None:
+def _print_footer(result, trace_path=None) -> None:
     mode = "morphed" if result.morphing_enabled else "baseline"
     extra = ""
     if result.morphing_enabled and result.selection:
@@ -224,6 +229,12 @@ def _print_footer(result) -> None:
         f"{result.stats.setops.total_ops} set ops{extra}",
         file=sys.stderr,
     )
+    if trace_path and result.trace is not None:
+        stages = ", ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in sorted(result.trace.stage_seconds().items())
+        )
+        print(f"# trace: {trace_path} ({stages})", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -235,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     count = sub.add_parser("count", help="count pattern matches")
     _add_common(count)
     _add_workers(count)
+    _add_trace(count)
     count.add_argument(
         "--pattern", action="append", required=True, help="repeatable"
     )
@@ -242,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     motifs = sub.add_parser("motifs", help="motif counting")
     _add_common(motifs)
     _add_workers(motifs)
+    _add_trace(motifs)
     motifs.add_argument("--size", type=int, default=4, choices=(3, 4, 5))
 
     fsm = sub.add_parser("fsm", help="frequent subgraph mining")

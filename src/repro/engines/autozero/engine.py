@@ -35,14 +35,19 @@ class AutoZeroEngine(MiningEngine):
 
     def _execute(self, graph, plan, on_match=None, root_window=None, should_stop=None):
         """Single-pattern paths run *compiled* kernels (AutoMine-style)."""
-        return run_compiled(
-            graph,
-            plan,
-            self.stats,
-            on_match,
-            root_window=root_window,
-            should_stop=should_stop,
-        )
+        with self.kernel_span(
+            "kernel.compiled",
+            depth=plan.depth,
+            window=list(root_window) if root_window else None,
+        ):
+            return run_compiled(
+                graph,
+                plan,
+                self.stats,
+                on_match,
+                root_window=root_window,
+                should_stop=should_stop,
+            )
 
     def count_set(
         self, graph: DataGraph, patterns: Iterable[Pattern]
@@ -54,7 +59,12 @@ class AutoZeroEngine(MiningEngine):
         plans = [self.make_plan(p, graph) for p in patterns]
         schedule = merge_schedules(plans)
         self.last_sharing_ratio = schedule.sharing_ratio
-        counts = execute_merged_counts(graph, schedule, self.stats)
+        with self.kernel_span(
+            "kernel.merged",
+            patterns=len(patterns),
+            sharing_ratio=schedule.sharing_ratio,
+        ):
+            counts = execute_merged_counts(graph, schedule, self.stats)
         return {p: counts.get(p, 0) for p in patterns}
 
     #: Sharing ratio of the most recent merged execution (1.0 = no sharing).

@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 import time
 from abc import ABC
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -280,9 +281,64 @@ class MiningEngine(ABC):
 
     def __init__(self) -> None:
         self.stats = EngineStats()
+        #: Live :class:`repro.observe.Tracer` during a traced run, else
+        #: ``None``. Attached by the session (or by ``repro.run``); the
+        #: kernels check it with one ``is None`` test, so the untraced
+        #: hot path stays allocation-free.
+        self.tracer = None
+
+    def __getstate__(self):
+        # Engines ship to pool workers by pickle; the tracer stays home
+        # (workers record into their own tracer when span collection is
+        # requested — see ``execution._run_shard_task``).
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        return state
 
     def reset_stats(self) -> None:
         self.stats = EngineStats()
+
+    @contextmanager
+    def kernel_span(self, name: str = "kernel", **attributes):
+        """Span one kernel invocation, sampling the engine's counters.
+
+        Individual set operations are far too hot to trace; instead the
+        existing :class:`~repro.engines.setops.SetOpStats` hooks keep
+        counting as always and this wrapper attaches the *deltas* (set
+        ops, galloped ops, set-op/UDF/filter seconds, materialized
+        matches) to one span per kernel run. With no tracer attached it
+        yields ``None`` without touching the clock.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            yield None
+            return
+        stats = self.stats
+        setops = stats.setops
+        before = (
+            setops.intersections,
+            setops.differences,
+            setops.galloped,
+            setops.seconds,
+            stats.udf_calls,
+            stats.udf_seconds,
+            stats.filter_seconds,
+            stats.materialized,
+        )
+        with tracer.span(name, **attributes) as span:
+            try:
+                yield span
+            finally:
+                span.attributes.update(
+                    intersections=setops.intersections - before[0],
+                    differences=setops.differences - before[1],
+                    galloped=setops.galloped - before[2],
+                    setop_seconds=setops.seconds - before[3],
+                    udf_calls=stats.udf_calls - before[4],
+                    udf_seconds=stats.udf_seconds - before[5],
+                    filter_seconds=stats.filter_seconds - before[6],
+                    materialized=stats.materialized - before[7],
+                )
 
     # -- plan construction (engines override) ------------------------------
 
@@ -298,14 +354,17 @@ class MiningEngine(ABC):
         should_stop: Callable[[], bool] | None = None,
     ) -> int:
         """Run one plan; engines may swap the kernel (AutoZero compiles)."""
-        return run_plan(
-            graph,
-            plan,
-            self.stats,
-            on_match,
-            root_window=root_window,
-            should_stop=should_stop,
-        )
+        with self.kernel_span(
+            "kernel", depth=plan.depth, window=list(root_window) if root_window else None
+        ):
+            return run_plan(
+                graph,
+                plan,
+                self.stats,
+                on_match,
+                root_window=root_window,
+                should_stop=should_stop,
+            )
 
     # -- filter UDF for non-native anti-edges ------------------------------
 

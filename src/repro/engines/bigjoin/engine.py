@@ -47,6 +47,21 @@ class BigJoinEngine(MiningEngine):
         vertex-id window; ``should_stop`` is polled per prefix binding
         (the BFS analogue of the DFS kernels' per-root-candidate poll).
         """
+        with self.kernel_span(
+            "kernel.bfs",
+            depth=plan.depth,
+            window=list(root_window) if root_window else None,
+        ):
+            return self._bfs_inner(graph, plan, on_match, root_window, should_stop)
+
+    def _bfs_inner(
+        self,
+        graph: DataGraph,
+        plan: ExplorationPlan,
+        on_match: Callable[[Match], None] | None,
+        root_window=None,
+        should_stop=None,
+    ) -> int:
         from repro.engines.base import StopExploration, clip_to_window
 
         start = time.perf_counter()

@@ -45,9 +45,14 @@ from repro.core.pattern import Pattern
 from repro.engines.base import EngineStats, MiningEngine
 from repro.graph.datagraph import DataGraph
 from repro.graph.partition import shard_by_degree_prefix
+from repro.observe.tracer import timed_span
 
 Shard = tuple[int, int]
-#: One shard's outcome: (un-finalized aggregation value, shard stats).
+#: One shard's outcome: (un-finalized aggregation value, shard stats),
+#: extended to (value, stats, spans) when span collection is requested
+#: (``map_shards(collect_spans=True)``) and the transport crosses a
+#: process boundary — in-process executors record into the live tracer
+#: directly and keep the two-tuple shape.
 ShardResult = tuple[Any, EngineStats]
 
 
@@ -75,6 +80,12 @@ class ShardExecutor(ABC):
     """Transport for running shard tasks and collecting ordered results."""
 
     workers: int = 1
+    #: Wall seconds spent standing the transport up (pool fork, graph
+    #: export) and tearing it down. In-process executors have none;
+    #: sessions add both to ``MorphRunResult.executor_seconds`` so
+    #: parallel totals include the fixed cost serial runs never pay.
+    setup_seconds: float = 0.0
+    teardown_seconds: float = 0.0
 
     @abstractmethod
     def map_shards(
@@ -84,8 +95,25 @@ class ShardExecutor(ABC):
         pattern: Pattern,
         aggregation: Aggregation,
         shards: Sequence[Shard],
+        collect_spans: bool = False,
     ) -> list[ShardResult]:
-        """Run every shard; results are returned in shard order."""
+        """Run every shard; results are returned in shard order.
+
+        ``collect_spans`` asks cross-process transports to trace each
+        shard into a fresh worker-side tracer and return the spans as a
+        third tuple element for the caller to adopt; in-process
+        transports ignore it (their kernels already record into the
+        live tracer through ``engine.tracer``).
+        """
+
+    def prepare(self, engine: MiningEngine, graph: DataGraph) -> None:
+        """Eagerly stand up worker resources for an (engine, graph) run.
+
+        Optional: transports that bind lazily inside ``map_shards``
+        would otherwise hide their spin-up cost inside the first
+        pattern's match time. Errors are swallowed — ``map_shards``
+        owns the degradation path.
+        """
 
     def close(self) -> None:
         """Release worker resources (no-op for in-process executors)."""
@@ -103,7 +131,13 @@ class SerialShardExecutor(ShardExecutor):
     def __init__(self, workers: int = 1) -> None:
         self.workers = max(1, workers)
 
-    def map_shards(self, engine, graph, pattern, aggregation, shards):
+    def map_shards(
+        self, engine, graph, pattern, aggregation, shards, collect_spans=False
+    ):
+        # In-process execution records spans straight into the live
+        # tracer (engine.tracer), so collect_spans needs no special
+        # handling here beyond the per-shard grouping span.
+        tracer = getattr(engine, "tracer", None)
         cancel = CancelFlag()
         results: list[ShardResult] = []
         saved_stats = engine.stats
@@ -111,13 +145,14 @@ class SerialShardExecutor(ShardExecutor):
             for shard in shards:
                 engine.stats = EngineStats()
                 if not cancel.is_set():
-                    value, _terminal = engine.aggregate_partial(
-                        graph,
-                        pattern,
-                        aggregation,
-                        root_window=shard,
-                        cancel=cancel,
-                    )
+                    with timed_span(tracer, "shard", window=list(shard)):
+                        value, _terminal = engine.aggregate_partial(
+                            graph,
+                            pattern,
+                            aggregation,
+                            root_window=shard,
+                            cancel=cancel,
+                        )
                 else:
                     value = aggregation.zero()
                 results.append((value, engine.stats))
@@ -318,16 +353,39 @@ def _probe_worker_graph() -> dict:
     }
 
 
-def _run_shard_task(pattern, aggregation, shard) -> ShardResult:
+def _run_shard_task(pattern, aggregation, shard, collect_spans=False):
     assert _WORKER_STATE is not None, "worker pool not initialized"
     engine, graph, cancel = _WORKER_STATE
     engine.reset_stats()
     if cancel is not None and cancel.is_set():
+        if collect_spans:
+            return aggregation.zero(), engine.stats, []
         return aggregation.zero(), engine.stats
-    value, _terminal = engine.aggregate_partial(
-        graph, pattern, aggregation, root_window=shard, cancel=cancel
-    )
-    return value, engine.stats
+    if not collect_spans:
+        value, _terminal = engine.aggregate_partial(
+            graph, pattern, aggregation, root_window=shard, cancel=cancel
+        )
+        return value, engine.stats
+    # Trace this shard into a private tracer and ship the spans home;
+    # the parent adopts them under its per-item span (clamped into the
+    # parent window, so nesting survives any cross-process clock skew).
+    from repro.observe.tracer import Tracer
+
+    tracer = Tracer()
+    engine.tracer = tracer
+    try:
+        with tracer.span("shard", window=list(shard)):
+            value, _terminal = engine.aggregate_partial(
+                graph, pattern, aggregation, root_window=shard, cancel=cancel
+            )
+    finally:
+        engine.tracer = None
+    return value, engine.stats, tracer.spans
+
+
+def _warm_worker() -> bool:
+    """No-op task: forces worker spawn + initializer before timing starts."""
+    return _WORKER_STATE is not None
 
 
 class ProcessShardExecutor(ShardExecutor):
@@ -348,11 +406,34 @@ class ProcessShardExecutor(ShardExecutor):
         if workers < 2:
             raise ValueError("process execution needs at least 2 workers")
         self.workers = workers
+        self.setup_seconds = 0.0
+        self.teardown_seconds = 0.0
         self._pool = None
         self._event = None
         self._payload: SharedGraphPayload | None = None
         self._bound_to: tuple[int, int] | None = None
         self._fallback: SerialShardExecutor | None = None
+
+    def prepare(self, engine: MiningEngine, graph: DataGraph) -> None:
+        """Stand the pool up eagerly and account its spin-up time.
+
+        ``ProcessPoolExecutor`` forks workers lazily on first submit, so
+        without this the pool's fixed cost lands inside the first
+        pattern's match window — the undercount that made morphed
+        parallel totals look better than they were. A throwaway warm-up
+        task forces worker spawn and the graph's shared-memory attach
+        here instead. Failures are deliberately swallowed:
+        ``map_shards`` owns the serial-fallback path.
+        """
+        import time
+
+        start = time.perf_counter()
+        try:
+            self._ensure_pool(engine, graph)
+            self._pool.submit(_warm_worker).result()
+        except Exception:
+            pass
+        self.setup_seconds += time.perf_counter() - start
 
     def _ensure_pool(self, engine: MiningEngine, graph: DataGraph) -> None:
         key = (id(engine), id(graph))
@@ -376,16 +457,20 @@ class ProcessShardExecutor(ShardExecutor):
         )
         self._bound_to = key
 
-    def map_shards(self, engine, graph, pattern, aggregation, shards):
+    def map_shards(
+        self, engine, graph, pattern, aggregation, shards, collect_spans=False
+    ):
         if self._fallback is not None:
             return self._fallback.map_shards(
-                engine, graph, pattern, aggregation, shards
+                engine, graph, pattern, aggregation, shards, collect_spans
             )
         try:
             self._ensure_pool(engine, graph)
             self._event.clear()
             futures = [
-                self._pool.submit(_run_shard_task, pattern, aggregation, shard)
+                self._pool.submit(
+                    _run_shard_task, pattern, aggregation, shard, collect_spans
+                )
                 for shard in shards
             ]
             return [f.result() for f in futures]
@@ -403,10 +488,14 @@ class ProcessShardExecutor(ShardExecutor):
             self.close()
             self._fallback = SerialShardExecutor(self.workers)
             return self._fallback.map_shards(
-                engine, graph, pattern, aggregation, shards
+                engine, graph, pattern, aggregation, shards, collect_spans
             )
 
     def close(self) -> None:
+        import time
+
+        start = time.perf_counter()
+        had_resources = self._pool is not None or self._payload is not None
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
@@ -415,6 +504,8 @@ class ProcessShardExecutor(ShardExecutor):
             self._payload = None
         self._event = None
         self._bound_to = None
+        if had_resources:
+            self.teardown_seconds += time.perf_counter() - start
 
 
 def make_executor(workers: int, executor=None) -> ShardExecutor:
@@ -440,6 +531,7 @@ def run_sharded(
     aggregation: Aggregation,
     executor: ShardExecutor,
     num_shards: int | None = None,
+    tracer=None,
 ):
     """One pattern, sharded: split, fan out, merge in shard order.
 
@@ -447,13 +539,22 @@ def run_sharded(
     reflect the whole run, exactly like the serial path) and the merged
     value is finalized once — :meth:`Aggregation.finalize` must see the
     complete value, e.g. MNI's automorphism closure over the full table.
+
+    With a ``tracer``, cross-process transports return each shard's
+    worker-side spans, which are adopted (re-parented and clamped)
+    under the tracer's current span; in-process transports trace live.
     """
     shards = shard_by_degree_prefix(
         graph, num_shards or default_shard_count(executor.workers, graph)
     )
-    parts = executor.map_shards(engine, graph, pattern, aggregation, shards)
+    parts = executor.map_shards(
+        engine, graph, pattern, aggregation, shards, tracer is not None
+    )
     value = aggregation.zero()
-    for part_value, part_stats in parts:
+    for part in parts:
+        part_value, part_stats = part[0], part[1]
+        if len(part) > 2 and tracer is not None:
+            tracer.adopt(part[2])
         engine.stats.merge(part_stats)
         value = aggregation.merge(value, part_value)
     return aggregation.finalize(pattern, value)
@@ -478,7 +579,13 @@ def execute_sharded(
     resolved = make_executor(workers, executor)
     try:
         return run_sharded(
-            engine, graph, pattern, aggregation, resolved, num_shards=num_shards
+            engine,
+            graph,
+            pattern,
+            aggregation,
+            resolved,
+            num_shards=num_shards,
+            tracer=getattr(engine, "tracer", None),
         )
     finally:
         if owned:

@@ -59,14 +59,20 @@ class GraphPiEngine(MiningEngine):
             # A whole-plan suffix has no root loop to shard, so a
             # windowed request falls through to the plain kernel.
             if suffix and (root_window is None or suffix < plan.depth):
-                return run_iep_count(
-                    graph,
-                    plan,
-                    self.stats,
-                    suffix,
-                    root_window=root_window,
-                    should_stop=cancel.is_set if cancel is not None else None,
-                )
+                with self.kernel_span(
+                    "kernel.iep",
+                    depth=plan.depth,
+                    suffix=suffix,
+                    window=list(root_window) if root_window else None,
+                ):
+                    return run_iep_count(
+                        graph,
+                        plan,
+                        self.stats,
+                        suffix,
+                        root_window=root_window,
+                        should_stop=cancel.is_set if cancel is not None else None,
+                    )
         return super().count(graph, pattern, root_window=root_window, cancel=cancel)
 
     def make_plan(self, pattern: Pattern, graph: DataGraph) -> ExplorationPlan:

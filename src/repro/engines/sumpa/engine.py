@@ -91,7 +91,12 @@ class SumPAEngine(MiningEngine):
         from repro.engines.base import run_plan
 
         start = time.perf_counter()
-        run_plan(graph, abstract_plan, self.stats, on_abstract)
+        with self.kernel_span(
+            "kernel.abstraction",
+            patterns=len(patterns),
+            abstract_edges=abstract.num_edges,
+        ):
+            run_plan(graph, abstract_plan, self.stats, on_abstract)
         _ = start  # run_plan already accounts wall time into stats
 
         return {

@@ -14,15 +14,32 @@ The two public entry points mirror the paper's output modes:
   conversion and an optional pre-conversion vertex filter (Section 7.3's
   workload: the filter only depends on the matched vertex set, so it runs
   once per alternative match, before fan-out).
+
+Most callers want neither directly: :func:`repro.run` builds the session,
+resolves the engine by name, and attaches tracing in one call.
+
+**Telemetry.** Pass ``tracer=repro.Tracer()`` and every phase of the run
+is spanned — ``transform`` (with a ``selection`` child), ``match`` with
+one ``match.item`` span per measured alternative (kernel and shard spans
+nested below), ``convert``, plus ``executor.setup``/``teardown`` for the
+worker pool's fixed cost. Phase spans *are* the timers the result
+reports: ``MorphRunResult.transform_seconds`` is the transform span's
+duration, so trace and result always reconcile exactly. Traced morphed
+runs additionally emit one cost-model audit record per measured
+alternative pattern (Algorithm 1's predicted cost vs the measured match
+time — §5.2's accuracy story) and a ``selection`` summary record.
+Tracing changes no results (asserted byte-for-byte by the trace
+invariance tests); with ``tracer=None`` nothing is recorded and the
+count path keeps engine-native multi-pattern batching.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.aggregation import Aggregation, CountAggregation, Match
+from repro.core.atlas import pattern_name
 from repro.core.conversion import (
     OnTheFlyConverter,
     convert_aggregation_store,
@@ -36,6 +53,15 @@ from repro.core.selection import SelectionResult, select_alternative_patterns
 from repro.engines.base import EngineStats, MiningEngine
 from repro.graph.datagraph import DataGraph
 from repro.morph.profiles import profile_for
+from repro.observe.audit import CostAuditRecord
+from repro.observe.export import RunTrace
+from repro.observe.tracer import Tracer, timed_span
+
+
+def _item_label(item: Item) -> str:
+    """Human-readable ``name^variant`` label for spans and audit records."""
+    skel, variant = item
+    return f"{pattern_name(skel)}^{variant}"
 
 
 @dataclass
@@ -50,11 +76,29 @@ class MorphRunResult:
     transform_seconds: float = 0.0
     match_seconds: float = 0.0
     convert_seconds: float = 0.0
+    #: Fixed cost of the shard-parallel transport: worker-pool spin-up
+    #: plus teardown, both outside the match window. Serial runs (and
+    #: runs on a caller-owned warm pool) report 0.0. Kept separate so
+    #: consumers comparing steady-state throughput can subtract it.
+    executor_seconds: float = 0.0
+    #: :class:`repro.observe.RunTrace` when the session was traced.
+    trace: RunTrace | None = None
 
     @property
     def total_seconds(self) -> float:
-        """End-to-end time: transformation + matching + conversion."""
-        return self.transform_seconds + self.match_seconds + self.convert_seconds
+        """End-to-end time: transform + match + convert + executor.
+
+        ``executor_seconds`` is included so morphed-vs-baseline
+        comparisons under ``workers > 1`` account the pool's fixed cost
+        (it used to be silently dropped, flattering the parallel side);
+        subtract the field to recover the old phases-only number.
+        """
+        return (
+            self.transform_seconds
+            + self.match_seconds
+            + self.convert_seconds
+            + self.executor_seconds
+        )
 
 
 class MorphingSession:
@@ -63,14 +107,19 @@ class MorphingSession:
     def __init__(
         self,
         engine: MiningEngine,
+        *args: Any,
         aggregation: Aggregation | None = None,
         enabled: bool = True,
         margin: float = 0.6,
         cache: "MeasurementCache | None" = None,
         workers: int = 1,
         executor=None,
+        tracer: Tracer | None = None,
     ) -> None:
-        """``margin`` is forwarded to Algorithm 1: a morph must be
+        """Configuration is keyword-only (positional config is a
+        deprecated shim, see :mod:`repro._compat`).
+
+        ``margin`` is forwarded to Algorithm 1: a morph must be
         predicted to cost under ``margin`` times what it saves. ``margin
         >= 1`` accepts any predicted win; large values force morphing
         (useful to reproduce the paper's blind-morphing comparison,
@@ -85,7 +134,24 @@ class MorphingSession:
         ``executor`` overrides the transport (``"process"``/``"serial"``
         or a ``ShardExecutor`` instance); the serial in-process path is
         the default and behavior is unchanged unless ``workers > 1`` or
-        an executor is supplied."""
+        an executor is supplied.
+
+        ``tracer`` attaches structured telemetry (see the module
+        docstring); results are identical traced or not."""
+        if args:
+            from repro import _compat
+
+            overrides = _compat.positional_config(
+                "MorphingSession",
+                ("aggregation", "enabled", "margin", "cache", "workers", "executor"),
+                args,
+            )
+            aggregation = overrides.get("aggregation", aggregation)
+            enabled = overrides.get("enabled", enabled)
+            margin = overrides.get("margin", margin)
+            cache = overrides.get("cache", cache)
+            workers = overrides.get("workers", workers)
+            executor = overrides.get("executor", executor)
         self.engine = engine
         self.aggregation = aggregation or CountAggregation()
         self.enabled = enabled
@@ -93,6 +159,7 @@ class MorphingSession:
         self.cache = cache
         self.workers = workers
         self.executor = executor
+        self.tracer = tracer
 
     # -- shard-parallel plumbing -------------------------------------------
 
@@ -122,7 +189,9 @@ class MorphingSession:
         from repro.engines.execution import run_sharded
 
         return {
-            p: run_sharded(self.engine, graph, p, CountAggregation(), exec_)
+            p: run_sharded(
+                self.engine, graph, p, CountAggregation(), exec_, tracer=self.tracer
+            )
             for p in patterns
         }
 
@@ -131,7 +200,9 @@ class MorphingSession:
             return self.engine.aggregate(graph, pattern, self.aggregation)
         from repro.engines.execution import run_sharded
 
-        return run_sharded(self.engine, graph, pattern, self.aggregation, exec_)
+        return run_sharded(
+            self.engine, graph, pattern, self.aggregation, exec_, tracer=self.tracer
+        )
 
     def _explore(self, graph, pattern, callback, exec_) -> None:
         """Stream matches through ``callback``, sharded when parallel.
@@ -148,44 +219,163 @@ class MorphingSession:
         from repro.engines.execution import run_sharded
 
         matches = run_sharded(
-            self.engine, graph, pattern, MatchListAggregation(), exec_
+            self.engine,
+            graph,
+            pattern,
+            MatchListAggregation(),
+            exec_,
+            tracer=self.tracer,
         )
         for match in matches:
             callback(pattern, match)
+
+    # -- run scaffolding (tracing + executor lifetime) -----------------------
+
+    def _run_scoped(self, graph, mode: str, num_patterns: int, body):
+        """Shared entry-point scaffolding for batched and streaming runs.
+
+        Owns the root ``run`` span, the executor's lifetime (eager
+        ``prepare`` so pool spin-up is measured instead of hiding in
+        the first pattern's match window — the ``executor_seconds``
+        fix), the engine's tracer attachment, and the result's trace.
+        """
+        self.engine.reset_stats()
+        tracer = self.tracer
+        parallel = self.workers > 1 or self.executor is not None
+        setup_seconds = teardown_seconds = 0.0
+        with timed_span(
+            tracer,
+            "run",
+            mode=mode,
+            engine=self.engine.name,
+            patterns=num_patterns,
+            morphing=self.enabled,
+            workers=self.workers,
+        ):
+            previous_tracer = self.engine.tracer
+            self.engine.tracer = tracer
+            exec_, owned = None, False
+            try:
+                if parallel:
+                    with timed_span(tracer, "executor.setup") as setup_span:
+                        exec_, owned = self._make_executor()
+                        if exec_ is not None and owned:
+                            exec_.prepare(self.engine, graph)
+                    setup_seconds = setup_span.seconds
+                result = body(exec_)
+            finally:
+                if exec_ is not None and owned:
+                    with timed_span(tracer, "executor.teardown") as teardown_span:
+                        exec_.close()
+                    teardown_seconds = teardown_span.seconds
+                self.engine.tracer = previous_tracer
+        result.executor_seconds = setup_seconds + teardown_seconds
+        if tracer is not None:
+            tracer.metrics.record_engine_stats(result.stats)
+            result.trace = RunTrace.from_tracer(
+                tracer,
+                engine=self.engine.name,
+                mode=mode,
+                morphing=self.enabled,
+                workers=self.workers,
+            )
+        return result
+
+    def _emit_audits(
+        self,
+        selection: SelectionResult,
+        cost_model: CostModel,
+        item_seconds: dict[Item, float],
+        store: dict[Item, Any] | None,
+        cached_items: set[Item],
+    ) -> None:
+        """One audit record per measured item, plus the set summary."""
+        tracer = self.tracer
+        assert tracer is not None
+        query_items = set(selection.query_items.values())
+        for item in sorted(selection.measured, key=repr):
+            skel, variant = item
+            value = store.get(item) if store is not None else None
+            tracer.audit(
+                CostAuditRecord(
+                    item=_item_label(item),
+                    pattern_id=_pattern_id(skel),
+                    variant=variant,
+                    role="query" if item in query_items else "alternative",
+                    predicted_cost=selection.item_costs.get(
+                        item, cost_model.pattern_cost(skel, variant)
+                    ),
+                    measured_seconds=item_seconds.get(item, 0.0),
+                    predicted_matches=cost_model.estimated_matches(skel, variant),
+                    measured_matches=value if isinstance(value, int) else None,
+                    cached=item in cached_items,
+                )
+            )
+        tracer.audit(
+            CostAuditRecord(
+                item="<selected-set>",
+                pattern_id=0,
+                variant="*",
+                role="selection",
+                predicted_cost=selection.estimated_cost,
+                measured_seconds=sum(item_seconds.values()),
+                extra={
+                    "estimated_query_cost": selection.estimated_query_cost,
+                    "rounds": selection.rounds,
+                    "measured_items": len(selection.measured),
+                    "morphed_queries": sum(selection.morphed.values()),
+                },
+            )
+        )
 
     # -- batched mode --------------------------------------------------------
 
     def run(self, graph: DataGraph, patterns: Sequence[Pattern]) -> MorphRunResult:
         """Mine all query patterns, morphing when enabled."""
         patterns = list(patterns)
-        self.engine.reset_stats()
-        exec_, owned = self._make_executor()
-        try:
-            return self._run_batched(graph, patterns, exec_)
-        finally:
-            if exec_ is not None and owned:
-                exec_.close()
+        return self._run_scoped(
+            graph,
+            "batched",
+            len(patterns),
+            lambda exec_: self._run_batched(graph, patterns, exec_),
+        )
+
+    def _measure_item(self, graph, item: Item, exec_, count_mode: bool):
+        """Measure one item's value (the traced per-item match path)."""
+        pattern = materialize(item)
+        if count_mode:
+            return self._count_set(graph, [pattern], exec_)[pattern]
+        return self._aggregate_one(graph, pattern, exec_)
 
     def _run_batched(
         self, graph: DataGraph, patterns: list[Pattern], exec_
     ) -> MorphRunResult:
         if not self.enabled:
             return self._run_baseline(graph, patterns, exec_)
+        tracer = self.tracer
 
-        transform_start = time.perf_counter()
-        cost_model = CostModel.for_graph(
-            graph, profile_for(self.engine), self.aggregation
-        )
-        selection = select_alternative_patterns(
-            patterns, cost_model, self.aggregation, margin=self.margin
-        )
-        transform_seconds = time.perf_counter() - transform_start
+        with timed_span(tracer, "transform", queries=len(patterns)) as transform_span:
+            cost_model = CostModel.for_graph(
+                graph, profile_for(self.engine), self.aggregation
+            )
+            with timed_span(tracer, "selection", margin=self.margin) as selection_span:
+                selection = select_alternative_patterns(
+                    patterns, cost_model, self.aggregation, margin=self.margin
+                )
+            selection_span.attributes.update(
+                rounds=selection.rounds,
+                measured=len(selection.measured),
+                morphed_queries=sum(selection.morphed.values()),
+            )
+        transform_seconds = transform_span.seconds
 
         if not any(selection.morphed.values()):
             # The cost model declined every morph: run the queries as
             # given (their own numbering and plans), keeping the selection
             # metadata so callers can see the decision.
-            baseline = self._run_baseline(graph, patterns, exec_)
+            baseline = self._run_baseline(
+                graph, patterns, exec_, selection=selection, cost_model=cost_model
+            )
             return MorphRunResult(
                 results=baseline.results,
                 stats=baseline.stats,
@@ -196,38 +386,60 @@ class MorphingSession:
                 match_seconds=baseline.match_seconds,
             )
 
-        match_start = time.perf_counter()
         store: dict[Item, Any] = {}
         count_mode = isinstance(self.aggregation, CountAggregation)
-        measured_items = sorted(selection.measured, key=repr)
+        item_seconds: dict[Item, float] = {}
+        cached_items: set[Item] = set()
+        with timed_span(
+            tracer, "match", items=len(selection.measured)
+        ) as match_span:
+            measured_items = sorted(selection.measured, key=repr)
 
-        if self.cache is not None:
-            cached = {
-                item: self.cache.get(graph, self.aggregation, item)
-                for item in measured_items
-            }
-            store.update({k: v for k, v in cached.items() if v is not None})
-            measured_items = [i for i in measured_items if store.get(i) is None]
+            if self.cache is not None:
+                cached = {
+                    item: self.cache.get(graph, self.aggregation, item)
+                    for item in measured_items
+                }
+                store.update({k: v for k, v in cached.items() if v is not None})
+                cached_items = set(store)
+                measured_items = [i for i in measured_items if i not in cached_items]
 
-        if count_mode:
-            concrete = {item: materialize(item) for item in measured_items}
-            counts = self._count_set(graph, list(concrete.values()), exec_)
-            for item, pattern in concrete.items():
-                store[item] = counts[pattern]
-        else:
-            for item in measured_items:
-                store[item] = self._aggregate_one(graph, materialize(item), exec_)
-        if self.cache is not None:
-            for item in measured_items:
-                self.cache.put(graph, self.aggregation, item, store[item])
-        match_seconds = time.perf_counter() - match_start
+            if count_mode and tracer is None:
+                # Engine-native multi-pattern execution (AutoZero's merged
+                # schedules, SumPA's abstraction). The traced path trades
+                # it for per-item measurement — identical counts, and the
+                # audit gets a real per-alternative match time.
+                concrete = {item: materialize(item) for item in measured_items}
+                counts = self._count_set(graph, list(concrete.values()), exec_)
+                for item, pattern in concrete.items():
+                    store[item] = counts[pattern]
+            else:
+                for item in measured_items:
+                    with timed_span(
+                        tracer, "match.item", item=_item_label(item)
+                    ) as item_span:
+                        store[item] = self._measure_item(
+                            graph, item, exec_, count_mode
+                        )
+                    item_seconds[item] = item_span.seconds
+            if self.cache is not None:
+                for item in measured_items:
+                    self.cache.put(graph, self.aggregation, item, store[item])
+        match_seconds = match_span.seconds
 
-        convert_start = time.perf_counter()
-        if count_mode:
-            results: dict[Pattern, Any] = convert_counts(patterns, store)
-        else:
-            results = convert_aggregation_store(patterns, store, self.aggregation)
-        convert_seconds = time.perf_counter() - convert_start
+        with timed_span(tracer, "convert", queries=len(patterns)) as convert_span:
+            if count_mode:
+                results: dict[Pattern, Any] = convert_counts(patterns, store)
+            else:
+                results = convert_aggregation_store(
+                    patterns, store, self.aggregation
+                )
+        convert_seconds = convert_span.seconds
+
+        if tracer is not None:
+            self._emit_audits(
+                selection, cost_model, item_seconds, store, cached_items
+            )
 
         return MorphRunResult(
             results=results,
@@ -241,24 +453,51 @@ class MorphingSession:
         )
 
     def _run_baseline(
-        self, graph: DataGraph, patterns: list[Pattern], exec_=None
+        self,
+        graph: DataGraph,
+        patterns: list[Pattern],
+        exec_=None,
+        selection: SelectionResult | None = None,
+        cost_model: CostModel | None = None,
     ) -> MorphRunResult:
-        start = time.perf_counter()
+        """The unmorphed path: match every query pattern as given.
+
+        ``selection``/``cost_model`` are passed when the morphed path
+        declined every morph — the queries are then the measured items,
+        and a traced run still emits their audit records.
+        """
+        tracer = self.tracer
         count_mode = isinstance(self.aggregation, CountAggregation)
-        if count_mode:
-            results: dict[Pattern, Any] = dict(
-                self._count_set(graph, patterns, exec_)
+        item_seconds: dict[Item, float] = {}
+        with timed_span(tracer, "match", items=len(patterns)) as match_span:
+            if count_mode and tracer is None:
+                results: dict[Pattern, Any] = dict(
+                    self._count_set(graph, patterns, exec_)
+                )
+            else:
+                results = {}
+                for p in patterns:
+                    with timed_span(
+                        tracer, "match.item", item=pattern_name(p)
+                    ) as item_span:
+                        if count_mode:
+                            results[p] = self._count_set(graph, [p], exec_)[p]
+                        else:
+                            results[p] = self._aggregate_one(graph, p, exec_)
+                    item_seconds[item_of(p)] = item_span.seconds
+        if tracer is not None and selection is not None and cost_model is not None:
+            counts_store = (
+                {item_of(p): v for p, v in results.items()} if count_mode else None
             )
-        else:
-            results = {
-                p: self._aggregate_one(graph, p, exec_) for p in patterns
-            }
+            self._emit_audits(
+                selection, cost_model, item_seconds, counts_store, set()
+            )
         return MorphRunResult(
             results=results,
             stats=self.engine.stats,
             morphing_enabled=False,
             measured=frozenset(item_of(p) for p in patterns),
-            match_seconds=time.perf_counter() - start,
+            match_seconds=match_span.seconds,
         )
 
     # -- streaming mode --------------------------------------------------------
@@ -277,15 +516,14 @@ class MorphingSession:
         the §7.3 weight filter has exactly this form.
         """
         patterns = list(patterns)
-        self.engine.reset_stats()
-        exec_, owned = self._make_executor()
-        try:
-            return self._run_streaming(
+        return self._run_scoped(
+            graph,
+            "streaming",
+            len(patterns),
+            lambda exec_: self._run_streaming(
                 graph, patterns, process, vertex_filter, exec_
-            )
-        finally:
-            if exec_ is not None and owned:
-                exec_.close()
+            ),
+        )
 
     def _run_streaming(
         self,
@@ -295,56 +533,90 @@ class MorphingSession:
         vertex_filter: Callable[[Match], bool] | None,
         exec_,
     ) -> MorphRunResult:
+        tracer = self.tracer
         emitted: dict[Pattern, int] = {p: 0 for p in patterns}
 
         def counted_process(query: Pattern, match: Match) -> None:
             emitted[query] += 1
             process(query, match)
 
+        def stream_patterns(items: list[tuple[str, Pattern, Callable]]):
+            """Run each (label, pattern, callback), spanning per item."""
+            item_seconds: dict[Item, float] = {}
+            with timed_span(tracer, "match", items=len(items)) as match_span:
+                for label, pattern, callback in items:
+                    with timed_span(
+                        tracer, "match.item", item=label
+                    ) as item_span:
+                        self._explore(graph, pattern, callback, exec_)
+                    try:
+                        item_seconds[item_of(pattern)] = item_span.seconds
+                    except ValueError:
+                        pass  # mixed patterns carry no item
+            return match_span.seconds, item_seconds
+
         if not self.enabled:
-            start = time.perf_counter()
-            for p in patterns:
-                if vertex_filter is None:
-                    self._explore(graph, p, counted_process, exec_)
-                else:
-                    self._explore(
-                        graph, p, _filtered(vertex_filter, counted_process), exec_
-                    )
+            plain = [
+                (
+                    pattern_name(p),
+                    p,
+                    counted_process
+                    if vertex_filter is None
+                    else _filtered(vertex_filter, counted_process),
+                )
+                for p in patterns
+            ]
+            match_seconds, _ = stream_patterns(plain)
             return MorphRunResult(
                 results=dict(emitted),
                 stats=self.engine.stats,
                 morphing_enabled=False,
                 measured=frozenset(item_of(p) for p in patterns),
-                match_seconds=time.perf_counter() - start,
+                match_seconds=match_seconds,
             )
 
-        transform_start = time.perf_counter()
-        from repro.core.aggregation import MatchListAggregation
-        from repro.core.costmodel import profile_udf_cost
+        with timed_span(tracer, "transform", queries=len(patterns)) as transform_span:
+            from repro.core.aggregation import MatchListAggregation
+            from repro.core.costmodel import profile_udf_cost
 
-        stream_agg = MatchListAggregation()
-        if vertex_filter is not None and patterns:
-            # Section 5.2's UDF profiling: time the filter on dummy
-            # matches so its real cost steers the alternative selection
-            # (an expensive filter makes fewer-match alternatives pay).
-            stream_agg.per_match_cost += profile_udf_cost(
-                vertex_filter, patterns[0], graph
+            stream_agg = MatchListAggregation()
+            if vertex_filter is not None and patterns:
+                # Section 5.2's UDF profiling: time the filter on dummy
+                # matches so its real cost steers the alternative selection
+                # (an expensive filter makes fewer-match alternatives pay).
+                stream_agg.per_match_cost += profile_udf_cost(
+                    vertex_filter, patterns[0], graph
+                )
+            cost_model = CostModel.for_graph(
+                graph, profile_for(self.engine), stream_agg
             )
-        cost_model = CostModel.for_graph(graph, profile_for(self.engine), stream_agg)
-        selection = select_alternative_patterns(
-            patterns, cost_model, stream_agg, margin=self.margin
-        )
+            with timed_span(tracer, "selection", margin=self.margin) as selection_span:
+                selection = select_alternative_patterns(
+                    patterns, cost_model, stream_agg, margin=self.margin
+                )
+            selection_span.attributes.update(
+                rounds=selection.rounds,
+                measured=len(selection.measured),
+                morphed_queries=sum(selection.morphed.values()),
+            )
 
         if not any(selection.morphed.values()):
-            transform_seconds = time.perf_counter() - transform_start
-            start = time.perf_counter()
-            for p in patterns:
-                callback = (
+            transform_seconds = transform_span.seconds
+            plain = [
+                (
+                    pattern_name(p),
+                    p,
                     counted_process
                     if vertex_filter is None
-                    else _filtered(vertex_filter, counted_process)
+                    else _filtered(vertex_filter, counted_process),
                 )
-                self._explore(graph, p, callback, exec_)
+                for p in patterns
+            ]
+            match_seconds, item_seconds = stream_patterns(plain)
+            if tracer is not None:
+                self._emit_audits(
+                    selection, cost_model, item_seconds, None, set()
+                )
             return MorphRunResult(
                 results=dict(emitted),
                 stats=self.engine.stats,
@@ -352,33 +624,49 @@ class MorphingSession:
                 measured=selection.measured,
                 selection=selection,
                 transform_seconds=transform_seconds,
-                match_seconds=time.perf_counter() - start,
+                match_seconds=match_seconds,
             )
 
-        # One converter per (measured item, query) pair.
-        converters: dict[Item, list[OnTheFlyConverter]] = {
-            item: [] for item in selection.measured
-        }
-        for query in patterns:
-            plan = on_the_fly_plan(query, selection.measured, counted_process)
-            for item, converter in plan.items():
-                converters[item].append(converter)
-        transform_seconds = time.perf_counter() - transform_start
+        with timed_span(
+            tracer, "transform.plan", queries=len(patterns)
+        ) as plan_span:
+            # One converter per (measured item, query) pair.
+            converters: dict[Item, list[OnTheFlyConverter]] = {
+                item: [] for item in selection.measured
+            }
+            for query in patterns:
+                plan = on_the_fly_plan(query, selection.measured, counted_process)
+                for item, converter in plan.items():
+                    converters[item].append(converter)
+        # The on-the-fly plan is part of pattern transformation; its span
+        # is separate only because the no-morph early return above ends
+        # the transform span first.
+        transform_seconds = transform_span.seconds + plan_span.seconds
 
-        match_start = time.perf_counter()
-        for item in sorted(selection.measured, key=repr):
-            fan_out = converters[item]
-            if not fan_out:
-                continue
+        item_seconds = {}
+        with timed_span(
+            tracer, "match", items=len(selection.measured)
+        ) as match_span:
+            for item in sorted(selection.measured, key=repr):
+                fan_out = converters[item]
+                if not fan_out:
+                    continue
 
-            def on_match(alt_pattern: Pattern, match: Match, _fan=fan_out) -> None:
-                if vertex_filter is not None and not vertex_filter(match):
-                    return
-                for converter in _fan:
-                    converter(match)
+                def on_match(alt_pattern: Pattern, match: Match, _fan=fan_out) -> None:
+                    if vertex_filter is not None and not vertex_filter(match):
+                        return
+                    for converter in _fan:
+                        converter(match)
 
-            self._explore(graph, materialize(item), on_match, exec_)
-        match_seconds = time.perf_counter() - match_start
+                with timed_span(
+                    tracer, "match.item", item=_item_label(item)
+                ) as item_span:
+                    self._explore(graph, materialize(item), on_match, exec_)
+                item_seconds[item] = item_span.seconds
+        match_seconds = match_span.seconds
+
+        if tracer is not None:
+            self._emit_audits(selection, cost_model, item_seconds, None, set())
 
         return MorphRunResult(
             results=dict(emitted),
@@ -389,6 +677,12 @@ class MorphingSession:
             transform_seconds=transform_seconds,
             match_seconds=match_seconds,
         )
+
+
+def _pattern_id(skel: Pattern) -> int:
+    from repro.core.canonical import pattern_id
+
+    return pattern_id(skel)
 
 
 def _filtered(
@@ -406,18 +700,51 @@ def compare_baseline_and_morphed(
     engine_factory: Callable[[], MiningEngine],
     graph: DataGraph,
     patterns: Iterable[Pattern],
+    *args: Any,
     aggregation: Aggregation | None = None,
+    workers: int = 1,
+    cache: "MeasurementCache | None" = None,
+    margin: float = 0.6,
+    tracer: Tracer | None = None,
 ) -> tuple[MorphRunResult, MorphRunResult]:
     """Run the same workload twice (baseline, morphed) on fresh engines.
 
     The benchmark harness's workhorse: returns both results so callers can
     assert equality (claim C1) and compare timings/counters.
+
+    ``workers``, ``cache`` and ``margin`` configure *both* sessions the
+    same way (they used to be silently unavailable here, which made any
+    parallel or cached comparison lopsided): ``workers`` shard-
+    parallelizes both runs, ``margin`` steers the morphed side's
+    Algorithm 1, and ``cache`` memoizes measured values — note a shared
+    cache warms across the two runs in call order (baseline first).
+    ``tracer`` traces the **morphed** run (the side whose per-stage
+    telemetry the figures need); trace the baseline by running it
+    directly with its own session.
     """
+    if args:
+        from repro import _compat
+
+        overrides = _compat.positional_config(
+            "compare_baseline_and_morphed", ("aggregation",), args
+        )
+        aggregation = overrides.get("aggregation", aggregation)
     patterns = list(patterns)
     baseline = MorphingSession(
-        engine_factory(), aggregation=aggregation, enabled=False
+        engine_factory(),
+        aggregation=aggregation,
+        enabled=False,
+        workers=workers,
+        cache=cache,
+        margin=margin,
     ).run(graph, patterns)
     morphed = MorphingSession(
-        engine_factory(), aggregation=aggregation, enabled=True
+        engine_factory(),
+        aggregation=aggregation,
+        enabled=True,
+        workers=workers,
+        cache=cache,
+        margin=margin,
+        tracer=tracer,
     ).run(graph, patterns)
     return baseline, morphed

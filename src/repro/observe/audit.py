@@ -1,0 +1,107 @@
+"""Cost-model audit: Algorithm 1's predictions against measured reality.
+
+The paper's §5.2 accuracy story — the cost model only has to *rank*
+alternative sets correctly — is unverifiable from flat end-of-run
+counters. A traced run therefore emits one :class:`CostAuditRecord` per
+measured item (each selected alternative pattern, or a query measured
+directly), pairing the predicted relative cost Algorithm 1 used with
+the wall-clock match time actually observed for that item, plus one
+``selection`` summary record comparing the chosen set's predicted total
+against the unmorphed query set's.
+
+:func:`rank_agreement` condenses the records into the number that
+matters for selection quality: the fraction of item pairs the model
+ordered the same way the measurements did (a Kendall-style concordance;
+1.0 = perfect ranking, 0.5 = coin flip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any
+
+__all__ = ["CostAuditRecord", "rank_agreement"]
+
+
+@dataclass
+class CostAuditRecord:
+    """Predicted-vs-measured cost for one measured alternative item."""
+
+    #: Human-readable item, e.g. ``"TT^E"`` (pattern text + variant).
+    item: str
+    #: Canonical 64-bit pattern id of the item's skeleton.
+    pattern_id: int
+    #: The S-DAG variant code: ``"E"`` (edge-induced), ``"V"``
+    #: (vertex-induced), or ``"*"`` on the selection summary record.
+    variant: str
+    #: ``"alternative"`` (morphed in), ``"query"`` (measured directly),
+    #: or ``"selection"`` (the per-run summary record).
+    role: str
+    #: Algorithm 1's relative cost units for this item (or set total).
+    predicted_cost: float
+    #: Wall-clock seconds spent matching this item (or the whole set).
+    measured_seconds: float
+    #: Model-estimated match count, where available.
+    predicted_matches: float | None = None
+    #: Actual match count, where the aggregation exposes one.
+    measured_matches: int | None = None
+    #: True when the value came from a MeasurementCache, not a match run.
+    cached: bool = False
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": "cost_audit",
+            "item": self.item,
+            "pattern_id": self.pattern_id,
+            "variant": self.variant,
+            "role": self.role,
+            "predicted_cost": self.predicted_cost,
+            "measured_seconds": self.measured_seconds,
+            "predicted_matches": self.predicted_matches,
+            "measured_matches": self.measured_matches,
+            "cached": self.cached,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict[str, Any]) -> "CostAuditRecord":
+        return cls(
+            item=record["item"],
+            pattern_id=int(record["pattern_id"]),
+            variant=record["variant"],
+            role=record["role"],
+            predicted_cost=float(record["predicted_cost"]),
+            measured_seconds=float(record["measured_seconds"]),
+            predicted_matches=record.get("predicted_matches"),
+            measured_matches=record.get("measured_matches"),
+            cached=bool(record.get("cached", False)),
+            extra=dict(record.get("extra", {})),
+        )
+
+
+def rank_agreement(records: list[CostAuditRecord]) -> float:
+    """Concordance between predicted and measured per-item cost ranking.
+
+    Only per-item records with a real measurement participate (cached
+    items and the selection summary are skipped). Returns 1.0 when
+    fewer than two comparable items exist — an empty audit cannot
+    contradict the model.
+    """
+    items = [
+        r
+        for r in records
+        if r.role in ("alternative", "query") and not r.cached
+    ]
+    pairs = concordant = 0
+    for a, b in combinations(items, 2):
+        if a.predicted_cost == b.predicted_cost or (
+            a.measured_seconds == b.measured_seconds
+        ):
+            continue
+        pairs += 1
+        predicted = a.predicted_cost < b.predicted_cost
+        measured = a.measured_seconds < b.measured_seconds
+        concordant += predicted == measured
+    return concordant / pairs if pairs else 1.0

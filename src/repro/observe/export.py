@@ -1,0 +1,181 @@
+"""Trace containers and exporters: JSONL and Chrome ``trace_event``.
+
+A :class:`RunTrace` is the portable form of one traced run — spans,
+metrics snapshot, audit records. :func:`write_jsonl` streams it as one
+JSON object per line (a ``meta`` line, then spans, metrics and audits);
+:func:`load_trace` reads that file back, so profiling tooling and the
+tier-1 tests round-trip without touching live tracer state.
+:func:`write_chrome_trace` emits the same spans as Chrome/Perfetto
+"complete" (``ph: "X"``) events for flame-graph inspection in
+``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.observe.audit import CostAuditRecord
+from repro.observe.tracer import Span, Tracer
+
+__all__ = [
+    "RunTrace",
+    "load_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Format version stamped into every exported trace's ``meta`` line.
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass
+class RunTrace:
+    """One run's telemetry: span tree, metrics snapshot, audit records."""
+
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    audits: list[CostAuditRecord] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, **meta: Any) -> "RunTrace":
+        return cls(
+            spans=list(tracer.spans),
+            metrics=tracer.metrics.snapshot(),
+            audits=list(tracer.audits),
+            meta=meta,
+        )
+
+    # -- queries the cookbook recipes are built on -------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Top-level phase durations, keyed by span name.
+
+        Phases are the spans directly under the root ``run`` span
+        (``transform``, ``match``, ``convert``, …); their durations are
+        the same timers :class:`~repro.morph.session.MorphRunResult`
+        reports, so this dict reconciles with the result's
+        ``*_seconds`` fields exactly.
+        """
+        roots = self.find("run")
+        if not roots:
+            return {}
+        out: dict[str, float] = {}
+        root_ids = {r.span_id for r in roots}
+        for span in self.spans:
+            if span.parent_id in root_ids:
+                out[span.name] = out.get(span.name, 0.0) + span.seconds
+        return out
+
+    def dominant_stage(self) -> str | None:
+        """Name of the costliest top-level phase (``None`` if untraced)."""
+        stages = self.stage_seconds()
+        if not stages:
+            return None
+        return max(stages, key=stages.get)
+
+    def validate_nesting(self, slack: float = 1e-6) -> None:
+        """Assert every child interval lies within its parent's.
+
+        The invariant the exporters and analysis helpers rely on; spans
+        adopted from workers are clamped on arrival, so a violation
+        here means a recording bug, not clock skew.
+        """
+        by_id = {s.span_id: s for s in self.spans}
+        for span in self.spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id.get(span.parent_id)
+            assert parent is not None, f"span {span.span_id} has unknown parent"
+            assert span.start >= parent.start - slack and span.end <= parent.end + slack, (
+                f"span {span.span_id} ({span.name}) "
+                f"[{span.start:.6f}, {span.end:.6f}] escapes parent "
+                f"{parent.span_id} ({parent.name}) "
+                f"[{parent.start:.6f}, {parent.end:.6f}]"
+            )
+
+
+def _records(trace: RunTrace) -> Iterable[dict[str, Any]]:
+    yield {
+        "type": "meta",
+        "format_version": TRACE_FORMAT_VERSION,
+        **trace.meta,
+    }
+    for span in trace.spans:
+        yield span.to_json()
+    if trace.metrics:
+        yield {"type": "metrics", "values": trace.metrics}
+    for audit in trace.audits:
+        yield audit.to_json()
+
+
+def write_jsonl(trace: RunTrace, path) -> None:
+    """Write a trace as one JSON object per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in _records(trace):
+            fh.write(json.dumps(record, sort_keys=True, default=str))
+            fh.write("\n")
+
+
+def load_trace(path) -> RunTrace:
+    """Read a JSONL trace back into a :class:`RunTrace`."""
+    trace = RunTrace()
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                trace.spans.append(Span.from_json(record))
+            elif kind == "metrics":
+                trace.metrics.update(record.get("values", {}))
+            elif kind == "cost_audit":
+                trace.audits.append(CostAuditRecord.from_json(record))
+            elif kind == "meta":
+                trace.meta = {
+                    k: v
+                    for k, v in record.items()
+                    if k not in ("type", "format_version")
+                }
+    return trace
+
+
+def write_chrome_trace(trace: RunTrace, path) -> None:
+    """Export spans in Chrome ``trace_event`` format (complete events).
+
+    Timestamps are microseconds relative to the earliest span, so the
+    flame graph starts at t=0 regardless of the perf-counter epoch.
+    """
+    origin = min((s.start for s in trace.spans), default=0.0)
+    events = [
+        {
+            "name": span.name,
+            "ph": "X",
+            "ts": (span.start - origin) * 1e6,
+            "dur": span.seconds * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "args": {k: _jsonable(v) for k, v in span.attributes.items()},
+        }
+        for span in trace.spans
+    ]
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

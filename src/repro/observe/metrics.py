@@ -1,0 +1,81 @@
+"""Run-level metrics registry.
+
+Subsumes the flat :class:`~repro.engines.base.EngineStats` counters into
+a general name → value registry so exporters, the bench harness and the
+CLI read one structure instead of poking engine internals. Counters add,
+gauges overwrite, and :meth:`MetricsRegistry.merge` folds shard or
+sub-run registries together with the same semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named counters (monotonic sums) and gauges (last-write-wins)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, Any] = {}
+
+    # -- write -------------------------------------------------------------
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Set gauge ``name`` to ``value`` (overwrites)."""
+        self._gauges[name] = value
+
+    def record_engine_stats(self, stats, prefix: str = "engine.") -> None:
+        """Fold an :class:`~repro.engines.base.EngineStats` in as counters.
+
+        Every quantity the paper's profiling figures report becomes a
+        metric: set-op counts and seconds (Fig. 4b/c, 12c/d, 13b), UDF
+        calls and seconds (Fig. 4a/d/e, 15b), materialization volume,
+        and Filter-UDF branches/misses (Fig. 14c/d).
+        """
+        self.add(prefix + "setops.intersections", stats.setops.intersections)
+        self.add(prefix + "setops.differences", stats.setops.differences)
+        self.add(prefix + "setops.galloped", stats.setops.galloped)
+        self.add(prefix + "setops.elements_scanned", stats.setops.elements_scanned)
+        self.add(prefix + "setops.seconds", stats.setops.seconds)
+        self.add(prefix + "matches", stats.matches)
+        self.add(prefix + "materialized", stats.materialized)
+        self.add(prefix + "udf.calls", stats.udf_calls)
+        self.add(prefix + "udf.seconds", stats.udf_seconds)
+        self.add(prefix + "filter.calls", stats.filter_calls)
+        self.add(prefix + "filter.seconds", stats.filter_seconds)
+        self.add(prefix + "branches", stats.branches)
+        self.add(prefix + "branch_misses", stats.branch_misses)
+        self.add(prefix + "kernel.seconds", stats.total_seconds)
+        self.add(prefix + "patterns_matched", stats.patterns_matched)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges overwrite."""
+        for name, value in other._counters.items():
+            self.add(name, value)
+        self._gauges.update(other._gauges)
+
+    # -- read --------------------------------------------------------------
+
+    def value(self, name: str, default: Any = 0) -> Any:
+        if name in self._counters:
+            return self._counters[name]
+        return self._gauges.get(name, default)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat ``name -> value`` view (counters and gauges together)."""
+        out: dict[str, Any] = dict(self._counters)
+        out.update(self._gauges)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters or name in self._gauges

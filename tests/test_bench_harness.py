@@ -35,9 +35,12 @@ class TestCompareWorkload:
         )
         fields = row.csv().split(",")
         assert fields[0] == "tri"
-        assert len(fields) == 7
-        assert fields[-2] == "1"  # serial by default
-        assert int(fields[-1]) > 0  # peak RSS of a live process is nonzero
+        assert len(fields) == 12
+        assert fields[5] == "1"  # serial by default
+        assert int(fields[6]) > 0  # peak RSS of a live process is nonzero
+        # Per-stage columns reconcile with the row's phase fields.
+        assert float(fields[8]) == pytest.approx(row.match_seconds, abs=1e-4)
+        assert fields[-1] == row.dominant_stage
 
     def test_workers_recorded(self, small_graph):
         row = compare_workload(
@@ -48,8 +51,30 @@ class TestCompareWorkload:
             workers=4,
         )
         assert row.workers == 4
-        assert row.csv().split(",")[-2] == "4"
+        assert row.csv().split(",")[5] == "4"
         assert row.results_equal
+
+    def test_trace_attached(self, small_graph):
+        row = compare_workload(
+            PeregrineEngine,
+            small_graph,
+            list(motif_patterns(3)),
+            workload="3-MC",
+            trace=True,
+        )
+        assert row.morphed_trace is not None
+        row.morphed_trace.validate_nesting()
+        stages = row.morphed_trace.stage_seconds()
+        assert stages.get("match", 0.0) == pytest.approx(row.match_seconds)
+        # Traced and untraced comparisons agree on results either way.
+        assert row.results_equal
+
+    def test_untraced_row_has_no_trace(self, small_graph):
+        row = compare_workload(
+            PeregrineEngine, small_graph, [TRIANGLE], workload="tri"
+        )
+        assert row.morphed_trace is None
+        assert row.dominant_stage in ("transform", "match", "convert", "executor")
 
     def test_peak_rss_recorded(self, small_graph):
         row = compare_workload(

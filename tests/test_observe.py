@@ -1,0 +1,320 @@
+"""Tests for the structured-telemetry subsystem (``repro.observe``).
+
+The two load-bearing guarantees: tracing changes **nothing** (results are
+byte-for-byte identical with tracing on or off, serial and sharded), and
+the trace is **coherent** (span nesting holds, phase spans reconcile
+exactly with the result's ``*_seconds`` fields, audits pair predictions
+with measurements).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.aggregation import MNIAggregation
+from repro.core.atlas import TRIANGLE, motif_patterns
+from repro.engines.autozero.engine import AutoZeroEngine
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.morph.session import MorphingSession
+from repro.observe import (
+    CostAuditRecord,
+    MetricsRegistry,
+    RunTrace,
+    Span,
+    Tracer,
+    load_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observe.audit import rank_agreement
+from repro.observe.tracer import timed_span
+
+
+def run_pair(graph, patterns, **kwargs):
+    """The same workload untraced and traced, on fresh engines."""
+    plain = MorphingSession(PeregrineEngine(), **kwargs).run(graph, patterns)
+    tracer = Tracer()
+    traced = MorphingSession(PeregrineEngine(), tracer=tracer, **kwargs).run(
+        graph, patterns
+    )
+    return plain, traced
+
+
+class TestTraceInvariance:
+    def test_serial_results_identical(self, small_graph):
+        plain, traced = run_pair(small_graph, list(motif_patterns(4)))
+        assert plain.results == traced.results
+        assert plain.measured == traced.measured
+
+    def test_sharded_results_identical(self, small_graph):
+        plain, traced = run_pair(small_graph, list(motif_patterns(3)), workers=2)
+        assert plain.results == traced.results
+
+    def test_mni_results_identical(self, small_labeled_graph):
+        plain, traced = run_pair(
+            small_labeled_graph, [TRIANGLE], aggregation=MNIAggregation()
+        )
+        assert plain.results == traced.results
+
+    def test_streaming_results_identical(self, small_graph):
+        seen_plain, seen_traced = [], []
+        MorphingSession(PeregrineEngine()).run_streaming(
+            small_graph, list(motif_patterns(3)), lambda p, m: seen_plain.append((p, m))
+        )
+        MorphingSession(PeregrineEngine(), tracer=Tracer()).run_streaming(
+            small_graph, list(motif_patterns(3)), lambda p, m: seen_traced.append((p, m))
+        )
+        assert seen_plain == seen_traced
+
+    def test_untraced_run_has_no_trace(self, small_graph):
+        result = MorphingSession(PeregrineEngine()).run(small_graph, [TRIANGLE])
+        assert result.trace is None
+
+
+class TestTraceCoherence:
+    def test_nesting_and_reconciliation(self, small_graph):
+        tracer = Tracer()
+        result = MorphingSession(PeregrineEngine(), tracer=tracer).run(
+            small_graph, list(motif_patterns(4))
+        )
+        trace = result.trace
+        trace.validate_nesting()
+        stages = trace.stage_seconds()
+        assert stages["transform"] == pytest.approx(result.transform_seconds)
+        assert stages["match"] == pytest.approx(result.match_seconds)
+        assert stages["convert"] == pytest.approx(result.convert_seconds)
+        # Item spans partition the match window (no other work in it).
+        item_total = sum(s.seconds for s in trace.find("match.item"))
+        assert item_total <= result.match_seconds
+
+    def test_kernel_spans_carry_counter_deltas(self, small_graph):
+        tracer = Tracer()
+        MorphingSession(PeregrineEngine(), tracer=tracer).run(
+            small_graph, [TRIANGLE]
+        )
+        kernels = [s for s in tracer.spans if s.name.startswith("kernel")]
+        assert kernels
+        assert all("intersections" in s.attributes for s in kernels)
+        total_intersections = sum(s.attributes["intersections"] for s in kernels)
+        assert total_intersections == tracer.metrics.value(
+            "engine.setops.intersections"
+        )
+
+    def test_sharded_spans_stitched_under_items(self, small_graph):
+        tracer = Tracer()
+        result = MorphingSession(
+            PeregrineEngine(), tracer=tracer, workers=2
+        ).run(small_graph, list(motif_patterns(3)))
+        trace = result.trace
+        trace.validate_nesting()
+        shard_spans = trace.find("shard")
+        assert shard_spans
+        item_ids = {s.span_id for s in trace.find("match.item")}
+        assert all(s.parent_id in item_ids for s in shard_spans)
+        assert result.executor_seconds > 0.0
+        assert trace.find("executor.setup") and trace.find("executor.teardown")
+
+    def test_executor_seconds_in_total(self, small_graph):
+        result = MorphingSession(PeregrineEngine(), workers=2).run(
+            small_graph, [TRIANGLE]
+        )
+        assert result.total_seconds == pytest.approx(
+            result.transform_seconds
+            + result.match_seconds
+            + result.convert_seconds
+            + result.executor_seconds
+        )
+        assert result.executor_seconds > 0.0
+
+    def test_serial_run_has_zero_executor_seconds(self, small_graph):
+        result = MorphingSession(PeregrineEngine()).run(small_graph, [TRIANGLE])
+        assert result.executor_seconds == 0.0
+
+    def test_metrics_subsume_engine_stats(self, small_graph):
+        tracer = Tracer()
+        result = MorphingSession(PeregrineEngine(), tracer=tracer).run(
+            small_graph, list(motif_patterns(3))
+        )
+        metrics = result.trace.metrics
+        assert metrics["engine.setops.intersections"] == (
+            result.stats.setops.intersections
+        )
+        assert metrics["engine.matches"] == result.stats.matches
+
+
+class TestCostAudit:
+    def test_one_record_per_measured_item(self, small_graph):
+        tracer = Tracer()
+        result = MorphingSession(PeregrineEngine(), tracer=tracer).run(
+            small_graph, list(motif_patterns(4))
+        )
+        per_item = [a for a in tracer.audits if a.role != "selection"]
+        assert len(per_item) == len(result.measured)
+        for record in per_item:
+            assert record.predicted_cost > 0.0
+            assert record.measured_seconds > 0.0
+            assert record.predicted_matches is not None
+            assert record.measured_matches is not None  # count mode
+
+    def test_selection_summary_record(self, small_graph):
+        tracer = Tracer()
+        MorphingSession(PeregrineEngine(), tracer=tracer).run(
+            small_graph, list(motif_patterns(4))
+        )
+        summaries = [a for a in tracer.audits if a.role == "selection"]
+        assert len(summaries) == 1
+        assert summaries[0].extra["estimated_query_cost"] > 0.0
+
+    def test_no_audits_when_morphing_disabled(self, small_graph):
+        tracer = Tracer()
+        MorphingSession(PeregrineEngine(), enabled=False, tracer=tracer).run(
+            small_graph, [TRIANGLE]
+        )
+        assert tracer.audits == []
+
+    def test_rank_agreement_bounds(self, small_graph):
+        tracer = Tracer()
+        MorphingSession(PeregrineEngine(), tracer=tracer).run(
+            small_graph, list(motif_patterns(4))
+        )
+        score = rank_agreement(tracer.audits)
+        assert 0.0 <= score <= 1.0
+
+    def test_rank_agreement_synthetic(self):
+        def rec(predicted, measured):
+            return CostAuditRecord(
+                item="x", pattern_id=0, variant="E", role="alternative",
+                predicted_cost=predicted, measured_seconds=measured,
+            )
+
+        perfect = [rec(1.0, 0.1), rec(2.0, 0.2), rec(3.0, 0.3)]
+        inverted = [rec(3.0, 0.1), rec(2.0, 0.2), rec(1.0, 0.3)]
+        assert rank_agreement(perfect) == 1.0
+        assert rank_agreement(inverted) == 0.0
+        assert rank_agreement([]) == 1.0
+
+
+class TestExporters:
+    def _traced_run(self, small_graph):
+        tracer = Tracer()
+        result = MorphingSession(PeregrineEngine(), tracer=tracer).run(
+            small_graph, list(motif_patterns(3))
+        )
+        return result.trace
+
+    def test_jsonl_round_trip(self, small_graph, tmp_path):
+        trace = self._traced_run(small_graph)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(trace, path)
+        loaded = load_trace(path)
+        assert [s.to_json() for s in loaded.spans] == [
+            s.to_json() for s in trace.spans
+        ]
+        assert loaded.metrics == trace.metrics
+        assert [a.to_json() for a in loaded.audits] == [
+            a.to_json() for a in trace.audits
+        ]
+        assert loaded.meta == trace.meta
+        loaded.validate_nesting()
+
+    def test_jsonl_is_one_object_per_line(self, small_graph, tmp_path):
+        trace = self._traced_run(small_graph)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        kinds = [json.loads(line)["type"] for line in lines]
+        assert kinds[0] == "meta"
+        assert "span" in kinds and "metrics" in kinds and "cost_audit" in kinds
+
+    def test_chrome_trace_shape(self, small_graph, tmp_path):
+        trace = self._traced_run(small_graph)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(trace, path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == len(trace.spans)
+        assert all(e["ph"] == "X" for e in events)
+        assert min(e["ts"] for e in events) == pytest.approx(0.0)
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_dominant_stage(self, small_graph):
+        trace = self._traced_run(small_graph)
+        assert trace.dominant_stage() == "match"
+        assert RunTrace().dominant_stage() is None
+
+
+class TestTracerPrimitives:
+    def test_span_tree_shape(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b", k=1):
+                pass
+            with tracer.span("c"):
+                pass
+        a, b, c = tracer.spans
+        assert (a.parent_id, b.parent_id, c.parent_id) == (None, a.span_id, a.span_id)
+        assert b.attributes == {"k": 1}
+        assert a.end >= c.end >= c.start >= b.end
+
+    def test_adopt_remaps_and_clamps(self):
+        worker = Tracer()
+        with worker.span("shard"):
+            with worker.span("kernel"):
+                pass
+        shard, kernel = worker.spans
+        # Skew the worker clock far outside any parent window.
+        for s in (shard, kernel):
+            s.start += 1e6
+            s.end += 1e6
+        parent = Tracer()
+        with parent.span("match.item"):
+            parent.adopt([shard, kernel])
+        trace = RunTrace(spans=parent.spans)
+        trace.validate_nesting()
+        adopted = trace.find("shard")[0]
+        assert adopted.parent_id == trace.find("match.item")[0].span_id
+        assert trace.find("kernel")[0].parent_id == adopted.span_id
+
+    def test_timed_span_without_tracer(self):
+        with timed_span(None, "anything", k=2) as watch:
+            watch.attributes["extra"] = True
+        assert watch.seconds >= 0.0
+        assert watch.attributes == {"k": 2, "extra": True}
+
+    def test_metrics_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.add("c", 2)
+        reg.add("c", 3)
+        reg.gauge("g", "x")
+        reg.gauge("g", "y")
+        assert reg.value("c") == 5
+        assert reg.value("g") == "y"
+        other = MetricsRegistry()
+        other.add("c", 1)
+        reg.merge(other)
+        assert reg.value("c") == 6
+        assert "c" in reg and len(reg) == 2
+
+    def test_span_json_round_trip(self):
+        span = Span(span_id=3, parent_id=1, name="n", start=1.5, end=2.5,
+                    attributes={"w": [0, 4]})
+        assert Span.from_json(span.to_json()) == span
+
+    def test_engine_pickles_without_tracer(self, small_graph):
+        import pickle
+
+        engine = PeregrineEngine()
+        engine.tracer = Tracer()
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.tracer is None
+
+    def test_autozero_traced_counts_match(self, small_graph):
+        plain = MorphingSession(AutoZeroEngine()).run(
+            small_graph, list(motif_patterns(4))
+        )
+        traced = MorphingSession(AutoZeroEngine(), tracer=Tracer()).run(
+            small_graph, list(motif_patterns(4))
+        )
+        assert plain.results == traced.results

@@ -1,0 +1,161 @@
+"""Contract tests for the ``repro`` public API surface.
+
+Pins three things the facade redesign promised: ``__all__`` is the
+importable truth (every name exists, is documented, and nothing public
+is missing), ``repro.run`` round-trips every engine with results
+identical to a hand-built session, and the deprecated calling
+conventions keep working — warning exactly once.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import _compat
+from repro.core.atlas import TRIANGLE, motif_patterns
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.morph.session import MorphingSession, compare_baseline_and_morphed
+
+
+class TestAllList:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name!r}"
+
+    def test_all_unique(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_every_public_symbol_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, (dict, list, tuple, str, int, float, frozenset)):
+                continue  # data constants carry their docs in the module
+            if not (getattr(obj, "__doc__", None) or "").strip():
+                undocumented.append(name)
+        assert not undocumented, f"public symbols lack docstrings: {undocumented}"
+
+    def test_no_unexported_public_callables(self):
+        """Anything defined under ``repro`` top-level must be in __all__."""
+        public = {
+            name
+            for name, obj in vars(repro).items()
+            if not name.startswith("_")
+            and callable(obj)
+            and getattr(obj, "__module__", "").startswith("repro")
+        }
+        missing = public - set(repro.__all__)
+        assert not missing, f"public callables missing from __all__: {missing}"
+
+
+class TestRunFacade:
+    @pytest.mark.parametrize("engine_name", sorted(repro.ENGINES))
+    def test_round_trips_every_engine(self, small_graph, engine_name):
+        patterns = list(motif_patterns(3))
+        by_name = repro.run(small_graph, patterns, engine_name)
+        by_hand = MorphingSession(repro.ENGINES[engine_name]()).run(
+            small_graph, patterns
+        )
+        assert by_name.results == by_hand.results
+
+    def test_single_pattern_convenience(self, small_graph):
+        result = repro.run(small_graph, TRIANGLE)
+        assert list(result.results) == [TRIANGLE]
+
+    def test_morph_false_matches_baseline_session(self, small_graph):
+        patterns = list(motif_patterns(3))
+        facade = repro.run(small_graph, patterns, morph=False)
+        session = MorphingSession(PeregrineEngine(), enabled=False).run(
+            small_graph, patterns
+        )
+        assert facade.results == session.results
+        assert not facade.morphing_enabled
+
+    def test_engine_instance_and_class_accepted(self, small_graph):
+        engine = PeregrineEngine()
+        assert repro.resolve_engine(engine) is engine
+        assert isinstance(repro.resolve_engine(PeregrineEngine), PeregrineEngine)
+        assert isinstance(repro.resolve_engine("PEREGRINE"), PeregrineEngine)
+
+    def test_unknown_engine_rejected(self, small_graph):
+        with pytest.raises(ValueError, match="unknown engine"):
+            repro.run(small_graph, [TRIANGLE], engine="nonesuch")
+        with pytest.raises(TypeError):
+            repro.resolve_engine(42)
+
+    def test_trace_kwarg_writes_jsonl(self, small_graph, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = repro.run(small_graph, list(motif_patterns(3)), trace=path)
+        assert result.trace is not None
+        loaded = repro.load_trace(path)
+        assert [s.name for s in loaded.spans] == [
+            s.name for s in result.trace.spans
+        ]
+
+    def test_trace_tracer_instance(self, small_graph):
+        tracer = repro.Tracer()
+        result = repro.run(small_graph, [TRIANGLE], trace=tracer)
+        assert result.trace is not None
+        assert result.trace.spans == tracer.spans
+
+    def test_config_is_keyword_only(self, small_graph):
+        with pytest.raises(TypeError):
+            repro.run(small_graph, [TRIANGLE], "peregrine", None, True)
+
+
+class TestDeprecationShims:
+    @pytest.fixture(autouse=True)
+    def fresh_warning_registry(self):
+        _compat._reset()
+        yield
+        _compat._reset()
+
+    def test_positional_session_config_warns_exactly_once(self, small_graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = MorphingSession(PeregrineEngine(), None, False)
+            second = MorphingSession(PeregrineEngine(), None, True)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "keyword arguments" in str(deprecations[0].message)
+        # The shim remaps, so behavior matches the keyword spelling.
+        assert first.enabled is False and second.enabled is True
+        assert first.run(small_graph, [TRIANGLE]).results == MorphingSession(
+            PeregrineEngine(), enabled=False
+        ).run(small_graph, [TRIANGLE]).results
+
+    def test_positional_compare_aggregation_warns_exactly_once(self, small_graph):
+        from repro.core.aggregation import CountAggregation
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compare_baseline_and_morphed(
+                PeregrineEngine, small_graph, [TRIANGLE], CountAggregation()
+            )
+            compare_baseline_and_morphed(
+                PeregrineEngine, small_graph, [TRIANGLE], CountAggregation()
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_keyword_calls_do_not_warn(self, small_graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            MorphingSession(PeregrineEngine(), enabled=False)
+            compare_baseline_and_morphed(PeregrineEngine, small_graph, [TRIANGLE])
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_too_many_positionals_rejected(self):
+        with pytest.raises(TypeError, match="positional"):
+            MorphingSession(
+                PeregrineEngine(), None, True, 0.6, None, 1, None, "extra"
+            )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Lint the ``repro`` public API surface (CI gate).
+
+Fails (exit 1) when the facade's export contract is violated:
+
+* a name in ``repro.__all__`` does not exist on the package;
+* a public symbol (non-underscore class/function defined somewhere in
+  ``repro.*`` and re-exported at top level) is missing from ``__all__``
+  — the "new public symbol without an ``__all__`` entry" case;
+* an exported class or function lacks a docstring.
+
+Run locally with ``PYTHONPATH=src python tools/check_public_api.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    import repro
+
+    failures: list[str] = []
+    exported = set(repro.__all__)
+
+    for name in sorted(exported):
+        if not hasattr(repro, name):
+            failures.append(f"__all__ lists {name!r} but repro has no such attribute")
+
+    dupes = len(repro.__all__) - len(exported)
+    if dupes:
+        failures.append(f"__all__ contains {dupes} duplicate entr{'y' if dupes == 1 else 'ies'}")
+
+    for name in sorted(set(vars(repro)) - exported):
+        if name.startswith("_") or name in ("annotations",):
+            continue
+        obj = getattr(repro, name)
+        if not callable(obj):
+            continue  # data constants and submodules may stay unexported
+        if getattr(obj, "__module__", "").startswith("repro"):
+            failures.append(
+                f"public symbol repro.{name} is importable but missing from "
+                f"__all__ (add it, or prefix the import with an underscore)"
+            )
+
+    for name in sorted(exported & set(vars(repro))):
+        obj = getattr(repro, name)
+        if not callable(obj):
+            continue
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            failures.append(f"exported symbol repro.{name} has no docstring")
+
+    if failures:
+        print("public API lint failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"public API ok: {len(exported)} exported names, all present and documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
