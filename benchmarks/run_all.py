@@ -6,10 +6,14 @@ Mirrors the paper artifact's scripts: each experiment prints
 columns where the figure reports counters), and asserts baseline ==
 morphed results throughout.
 
-Run:  python benchmarks/run_all.py [--quick]
+Run:  python benchmarks/run_all.py [--quick] [--record PATH]
 
 ``--quick`` restricts each experiment to its cheapest configuration
-(the artifact's figXX-quick.sh convention).
+(the artifact's figXX-quick.sh convention). ``--record PATH`` also
+condenses every row into a trajectory :class:`BenchRecord` — the same
+schema ``repro bench record`` writes — at PATH (a ``BENCH_<seq>.json``
+is auto-named when PATH is a directory), so the standalone harness
+feeds the longitudinal store too.
 """
 
 from __future__ import annotations
@@ -207,6 +211,29 @@ def fig15cd(quick: bool) -> FigureReport:
     return report
 
 
+def _write_record(reports, args) -> None:
+    """Condense every report's rows into one trajectory record."""
+    import os
+
+    from repro.bench.trajectory import BenchRecord, next_seq, save_record
+
+    rows = [row for report in reports for row in report.rows]
+    meta = {
+        "source": "run_all",
+        "quick": args.quick,
+        "experiments": [report.figure for report in reports],
+        "trials": 1,
+    }
+    record = BenchRecord.from_rows(rows, meta=meta)
+    if os.path.isdir(args.record):
+        path = save_record(record, root=args.record)
+    else:
+        parent = os.path.dirname(os.path.abspath(args.record))
+        record.seq = next_seq(parent)
+        path = record.write(args.record)
+    print(f"# trajectory record written to {path}", file=sys.stderr)
+
+
 EXPERIMENTS = {
     "fig12": fig12,
     "fig13a": fig13a,
@@ -225,6 +252,12 @@ def main() -> int:
     )
     parser.add_argument(
         "--output", help="append the CSV reports to this file as well"
+    )
+    parser.add_argument(
+        "--record",
+        metavar="PATH",
+        help="write the rows as a trajectory BenchRecord (BENCH_*.json "
+        "schema); PATH may be a directory (auto-named) or a .json file",
     )
     args = parser.parse_args()
 
@@ -252,6 +285,8 @@ def main() -> int:
         if args.output:
             with open(args.output, "a") as f:
                 f.write(report.render() + "\n")
+    if args.record:
+        _write_record(all_reports, args)
     print(
         f"\n# all experiments done in {time.perf_counter() - start:.1f}s "
         "(results verified equal baseline vs morphed)",

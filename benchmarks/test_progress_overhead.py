@@ -1,0 +1,157 @@
+"""Progress-reporter overhead and ETA-accuracy acceptance benchmarks.
+
+Two claims, mirroring ``test_trace_overhead.py``'s method. First, with
+progress **off** (the default) the feature must be invisible: the
+session's hot path pays a plain ``progress is None`` test per measured
+item and the kernels pay nothing, so the disabled-guard cost
+extrapolated over the run's *kernel-call* count — a vast overestimate of
+how often the guard actually runs — must stay under 2% of the run's
+wall time.
+
+Second, the acceptance scenario for the estimate itself: on a morphed
+4-motif run, the ETA produced after the first measured item finishes
+(cost-model-seeded, measurement-calibrated) must land within a small
+factor of the actually-remaining wall time. Timing assertions are
+disabled under ``REPRO_BENCH_RECORD_ONLY=1`` (the CI smoke mode — a
+busy 1-core runner makes any ETA advisory); the measured error is
+recorded in ``extra_info`` either way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.harness import timed
+from repro.core.atlas import motif_patterns
+from repro.engines.peregrine.engine import PeregrineEngine
+from repro.morph.session import MorphingSession
+from repro.observe import ProgressReporter
+
+from benchmarks.test_parallel_scaling import scale_graph  # noqa: F401  (fixture)
+
+#: Progress-off overhead ceiling relative to run wall time.
+OVERHEAD_CEILING = 0.02
+#: Record measurements without asserting timing floors (CI smoke mode).
+RECORD_ONLY = os.environ.get("REPRO_BENCH_RECORD_ONLY", "") not in ("", "0")
+
+
+def _disabled_guard_seconds(checks: int) -> float:
+    """Cost of ``checks`` evaluations of the disabled-progress guard."""
+    session = MorphingSession(PeregrineEngine())
+    assert session.progress is None
+    start = time.perf_counter()
+    for _ in range(checks):
+        if session.progress is not None:  # the hot-path pattern, verbatim
+            raise AssertionError("unreachable")
+    return time.perf_counter() - start
+
+
+def test_progress_off_overhead_under_2pct(scale_graph, benchmark):  # noqa: F811
+    """Disabled progress must cost <2% of a serial 3-MC run.
+
+    The guard actually runs ~3× per *measured item* (a handful per run);
+    extrapolating its cost over the run's kernel-call count instead
+    bounds what the feature *could* add even if the guard sat inside the
+    kernels — the same noise-immune method as the tracer's bound.
+    """
+    patterns = list(motif_patterns(3))
+    result, run_seconds = benchmark.pedantic(
+        lambda: timed(
+            lambda: MorphingSession(PeregrineEngine(), enabled=True).run(
+                scale_graph, patterns
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    kernel_calls = max(1, result.stats.patterns_matched)
+    guard_seconds = _disabled_guard_seconds(kernel_calls)
+    overhead = guard_seconds / run_seconds if run_seconds > 0 else 0.0
+
+    _, watched_seconds = timed(
+        lambda: MorphingSession(
+            PeregrineEngine(), progress=ProgressReporter(stream=None)
+        ).run(scale_graph, patterns)
+    )
+
+    benchmark.extra_info["workload"] = "3-MC serial"
+    benchmark.extra_info["graph"] = scale_graph.name
+    benchmark.extra_info["run_s"] = round(run_seconds, 4)
+    benchmark.extra_info["kernel_calls"] = kernel_calls
+    benchmark.extra_info["disabled_overhead_pct"] = round(100 * overhead, 4)
+    benchmark.extra_info["progress_on_s"] = round(watched_seconds, 4)
+    benchmark.extra_info["progress_on_ratio"] = round(
+        watched_seconds / run_seconds if run_seconds > 0 else 1.0, 3
+    )
+
+    if not RECORD_ONLY:
+        assert overhead < OVERHEAD_CEILING, (
+            f"progress-off guard costs {100 * overhead:.2f}% of the run "
+            f"({kernel_calls} kernel calls), ceiling is "
+            f"{100 * OVERHEAD_CEILING:.0f}%"
+        )
+
+
+class _EtaProbe(ProgressReporter):
+    """A silent reporter that journals its own ETA at every finish."""
+
+    def __init__(self) -> None:
+        super().__init__(stream=None)
+        #: ``(wall_time, snapshot)`` at each item_finished call.
+        self.events: list[tuple[float, object]] = []
+
+    def item_finished(self, label: str, seconds: float) -> None:
+        super().item_finished(label, seconds)
+        self.events.append((time.perf_counter(), self.snapshot()))
+
+
+def test_progress_eta_accuracy(scale_graph, benchmark):  # noqa: F811
+    """The calibrated mid-run ETA must track the real remaining time.
+
+    A morphed 4-motif run measures several alternatives; each finish
+    re-calibrates seconds-per-cost-unit from measurements. The ETA at
+    each mid-run finish is compared to the wall time actually remaining;
+    the error is recorded, and (outside record-only mode) the median
+    mid-run estimate must land within 4× either way — deliberately loose,
+    it guards "the ETA is wired to the right costs", not scheduler luck.
+    """
+    patterns = list(motif_patterns(4))
+    probe = _EtaProbe()
+    result, run_seconds = benchmark.pedantic(
+        lambda: timed(
+            lambda: MorphingSession(PeregrineEngine(), progress=probe).run(
+                scale_graph, patterns
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    finished_at = time.perf_counter()
+    assert result.results  # the run itself must be sane
+
+    ratios = []
+    for wall, snap in probe.events:
+        actual_remaining = finished_at - wall
+        if snap.done_items >= snap.total_items or snap.eta_seconds is None:
+            continue  # the last finish predicts ~0 against ~0: no signal
+        if actual_remaining < 1e-4:
+            continue
+        ratios.append(snap.eta_seconds / actual_remaining)
+
+    benchmark.extra_info["graph"] = scale_graph.name
+    benchmark.extra_info["run_s"] = round(run_seconds, 4)
+    benchmark.extra_info["measured_items"] = len(result.measured)
+    benchmark.extra_info["eta_samples"] = len(ratios)
+    if ratios:
+        ordered = sorted(ratios)
+        median_ratio = ordered[len(ordered) // 2]
+        benchmark.extra_info["eta_over_actual_median"] = round(median_ratio, 3)
+        if not RECORD_ONLY:
+            assert 0.25 <= median_ratio <= 4.0, (
+                f"mid-run ETA off by more than 4x: eta/actual ratios {ordered}"
+            )
+    else:
+        # Fewer than two measured items ⇒ no mid-run estimate to judge;
+        # the reporter must still have seen every item through.
+        assert probe.snapshot().done_items == len(result.measured)

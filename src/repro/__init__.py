@@ -22,7 +22,7 @@ Public API quick tour — one call does the whole pipeline::
 ``repro.run`` accepts an engine name (``"peregrine"``, ``"autozero"``,
 ``"graphpi"``, ``"bigjoin"``, ``"sumpa"``), keyword-only config
 (``aggregation``, ``morph``, ``workers``, ``margin``, ``cache``,
-``trace``) and returns a :class:`MorphRunResult`. Construct a
+``trace``, ``progress``) and returns a :class:`MorphRunResult`. Construct a
 :class:`MorphingSession` directly for streaming mode
 (:meth:`~MorphingSession.run_streaming`) or a caller-owned executor;
 :class:`Tracer` + :class:`repro.observe.RunTrace` are the telemetry
@@ -75,6 +75,8 @@ from repro.morph.session import (
 from repro.observe import (
     CostAuditRecord,
     MetricsRegistry,
+    ProgressReporter,
+    ProgressSnapshot,
     RunTrace,
     Span,
     Tracer,
@@ -111,6 +113,8 @@ __all__ = [
     "NAMED_PATTERNS",
     "Pattern",
     "PeregrineEngine",
+    "ProgressReporter",
+    "ProgressSnapshot",
     "RunTrace",
     "SDag",
     "Span",

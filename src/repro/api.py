@@ -30,6 +30,7 @@ from repro.graph.datagraph import DataGraph
 from repro.morph.cache import MeasurementCache
 from repro.morph.session import MorphingSession, MorphRunResult
 from repro.observe.export import write_jsonl
+from repro.observe.progress import ProgressReporter
 from repro.observe.tracer import Tracer
 
 __all__ = ["ENGINES", "resolve_engine", "run"]
@@ -79,6 +80,7 @@ def run(
     margin: float = 0.6,
     cache: MeasurementCache | None = None,
     trace: Any = None,
+    progress: ProgressReporter | bool | None = None,
 ) -> MorphRunResult:
     """Mine ``patterns`` on ``graph`` through the morphing pipeline.
 
@@ -114,6 +116,12 @@ def run(
         (:func:`repro.observe.write_jsonl`; load back with
         :func:`repro.observe.load_trace`). Either way the result's
         ``trace`` attribute holds the :class:`repro.observe.RunTrace`.
+    progress:
+        ``None`` (default, zero overhead), ``True`` for a live stderr
+        progress line — the ETA starts from Algorithm 1's predicted
+        per-item costs and is corrected online by measured match times —
+        or a :class:`repro.ProgressReporter` to report through (e.g.
+        with a custom stream or a calibration prior).
 
     Returns
     -------
@@ -133,6 +141,13 @@ def run(
     else:
         tracer = Tracer()
         trace_path = trace
+    reporter: ProgressReporter | None
+    if progress is None or progress is False:
+        reporter = None
+    elif progress is True:
+        reporter = ProgressReporter()
+    else:
+        reporter = progress
     session = MorphingSession(
         resolve_engine(engine),
         aggregation=aggregation,
@@ -141,6 +156,7 @@ def run(
         cache=cache,
         workers=workers,
         tracer=tracer,
+        progress=reporter,
     )
     result = session.run(graph, list(patterns))
     if trace_path is not None:

@@ -1,1 +1,86 @@
-"""Benchmark harness utilities shared by the per-figure benchmarks."""
+"""Benchmark harness, trajectory store and regression gate.
+
+Three layers, bottom up:
+
+* :mod:`repro.bench.harness` measures one workload *now* —
+  :func:`compare_workload` runs the baseline and morphed sides,
+  asserts equal results, and emits a :class:`ComparisonRow` with
+  per-stage seconds, set-op counters and per-run peak-RSS deltas.
+* :mod:`repro.bench.trajectory` remembers — repeated-trial rows
+  condense into a schema-versioned :class:`BenchRecord` persisted as
+  ``BENCH_<seq>.json`` at the repo root, with robust statistics
+  (median/MAD/IQR), an environment fingerprint, and the cost model's
+  rank-agreement summary.
+* :mod:`repro.bench.regress` judges — :func:`compare_to_history` gates
+  a fresh record against the stored trajectory with noise-aware
+  verdicts, per-stage attribution and cost-model drift detection.
+
+CLI: ``python -m repro.cli bench record`` / ``bench compare``.
+Dashboard: ``python tools/render_bench_report.py`` → ``docs/benchmarks.md``.
+"""
+
+from repro.bench.harness import (
+    BreakdownRow,
+    ComparisonRow,
+    FigureReport,
+    breakdown_row,
+    compare_workload,
+    peak_rss_kib,
+    timed,
+)
+from repro.bench.regress import (
+    StageVerdict,
+    TrajectoryComparison,
+    WorkloadVerdict,
+    compare_to_history,
+)
+from repro.bench.reporting import breakdown_chart, comparison_table, speedup_chart
+from repro.bench.trajectory import (
+    BenchRecord,
+    EnvFingerprint,
+    TrialSummary,
+    WorkloadStats,
+    collect_record,
+    iqr,
+    list_record_paths,
+    load_record,
+    load_trajectory,
+    mad,
+    median,
+    next_seq,
+    record_suite,
+    save_record,
+    workload_key,
+)
+
+__all__ = [
+    "BenchRecord",
+    "BreakdownRow",
+    "ComparisonRow",
+    "EnvFingerprint",
+    "FigureReport",
+    "StageVerdict",
+    "TrajectoryComparison",
+    "TrialSummary",
+    "WorkloadStats",
+    "WorkloadVerdict",
+    "breakdown_chart",
+    "breakdown_row",
+    "collect_record",
+    "compare_to_history",
+    "compare_workload",
+    "comparison_table",
+    "iqr",
+    "list_record_paths",
+    "load_record",
+    "load_trajectory",
+    "mad",
+    "median",
+    "next_seq",
+    "peak_rss_kib",
+    "record_suite",
+    "save_record",
+    "speedup_chart",
+    "timed",
+    "workload_key",
+]

@@ -43,7 +43,16 @@ class ComparisonRow:
     results_equal: bool
     morphed_patterns: int
     workers: int = 1
+    #: Process high-water mark after both runs (``ru_maxrss``); kept for
+    #: compatibility with older CSV consumers. Per-run attribution lives
+    #: in the two delta columns below.
     peak_rss_kib: int = 0
+    #: How much each run *raised* the process high-water mark, in KiB.
+    #: ``ru_maxrss`` is monotonic, so a delta of 0 means the run fit in
+    #: memory the process had already touched — the baseline run no
+    #: longer pollutes the morphed row's attribution.
+    baseline_rss_delta_kib: int = 0
+    morphed_rss_delta_kib: int = 0
     #: Morphed run's per-stage seconds (identical to its trace spans).
     transform_seconds: float = 0.0
     match_seconds: float = 0.0
@@ -90,7 +99,8 @@ class ComparisonRow:
         return (
             f"{self.workload},{self.graph},{self.morphed_seconds:.4f},"
             f"{self.baseline_seconds:.4f},{self.speedup:.2f},{self.workers},"
-            f"{self.peak_rss_kib},{self.transform_seconds:.4f},"
+            f"{self.peak_rss_kib},{self.baseline_rss_delta_kib},"
+            f"{self.morphed_rss_delta_kib},{self.transform_seconds:.4f},"
             f"{self.match_seconds:.4f},{self.convert_seconds:.4f},"
             f"{self.executor_seconds:.4f},{self.dominant_stage}"
         )
@@ -124,7 +134,9 @@ def compare_workload(
         workers=workers,
         tracer=Tracer() if trace else None,
     )
+    rss_before = peak_rss_kib()
     baseline = baseline_session.run(graph, list(patterns))
+    rss_after_baseline = peak_rss_kib()
     morphed = morphed_session.run(graph, list(patterns))
     peak_rss = peak_rss_kib()
     equal = _results_equal(baseline, morphed)
@@ -143,6 +155,8 @@ def compare_workload(
         morphed_patterns=morphed_count,
         workers=workers,
         peak_rss_kib=peak_rss,
+        baseline_rss_delta_kib=max(0, rss_after_baseline - rss_before),
+        morphed_rss_delta_kib=max(0, peak_rss - rss_after_baseline),
         transform_seconds=morphed.transform_seconds,
         match_seconds=morphed.match_seconds,
         convert_seconds=morphed.convert_seconds,
@@ -157,8 +171,10 @@ def peak_rss_kib() -> int:
     ``ru_maxrss`` is a high-water mark, so a row records the largest
     footprint seen up to and including its run — enough to catch a
     storage-layer regression (e.g. an accidental adjacency copy) in CI
-    without any sampling machinery. Linux reports KiB; macOS reports
-    bytes and is normalized here.
+    without any sampling machinery. :func:`compare_workload` samples it
+    before and after each run and records per-run *deltas* alongside,
+    so the baseline run's footprint does not pollute the morphed row.
+    Linux reports KiB; macOS reports bytes and is normalized here.
     """
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":
@@ -190,6 +206,7 @@ class FigureReport:
         lines = [f"# {self.figure}: {self.description}"]
         header = (
             "workload,graph,morphed_s,baseline_s,speedup,workers,peak_rss_kib,"
+            "baseline_rss_delta_kib,morphed_rss_delta_kib,"
             "transform_s,match_s,convert_s,executor_s,dominant_stage"
         )
         if self.extra_columns:
@@ -224,23 +241,50 @@ def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
     return out, time.perf_counter() - start
 
 
+@dataclass(frozen=True)
+class BreakdownRow:
+    """Figure 4-style percentage breakdown of one run's time.
+
+    Percentages of ``total`` wall seconds per cost category; ``other``
+    is the unattributed remainder, clamped at zero.
+    """
+
+    label: str
+    setops: float
+    udf: float
+    filter: float
+    other: float
+    total: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat mapping view (chart input, ``benchmark.extra_info``)."""
+        return {
+            "label": self.label,
+            "setops": self.setops,
+            "udf": self.udf,
+            "filter": self.filter,
+            "other": self.other,
+            "total": self.total,
+        }
+
+
 def breakdown_row(
     label: str, stats: EngineStats, total: float | None = None
-) -> dict[str, float]:
-    """Figure 4-style percentage breakdown of one run's time."""
+) -> BreakdownRow:
+    """Build the Figure 4-style :class:`BreakdownRow` for one run."""
     total = total if total is not None else stats.total_seconds
     if total <= 0:
-        return {"label": label, "setops": 0.0, "udf": 0.0, "filter": 0.0, "other": 0.0, "total": 0.0}  # type: ignore[dict-item]
-    return {
-        "label": label,  # type: ignore[dict-item]
-        "setops": 100.0 * stats.setops.seconds / total,
-        "udf": 100.0 * stats.udf_seconds / total,
-        "filter": 100.0 * stats.filter_seconds / total,
-        "other": max(
+        return BreakdownRow(label, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return BreakdownRow(
+        label=label,
+        setops=100.0 * stats.setops.seconds / total,
+        udf=100.0 * stats.udf_seconds / total,
+        filter=100.0 * stats.filter_seconds / total,
+        other=max(
             0.0,
             100.0
             * (total - stats.setops.seconds - stats.udf_seconds - stats.filter_seconds)
             / total,
         ),
-        "total": total,
-    }
+        total=total,
+    )

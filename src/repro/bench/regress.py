@@ -1,0 +1,289 @@
+"""Statistical regression gate over the stored benchmark trajectory.
+
+Compares a candidate :class:`~repro.bench.trajectory.BenchRecord`
+against the records before it with noise-aware verdicts: a workload is
+``regressed``/``improved`` only when its fresh median lands outside the
+historical median ± k·MAD band (with a relative noise floor, so a
+history of suspiciously identical numbers doesn't make ±1% "significant"),
+``unchanged`` inside the band, and ``new`` when the trajectory has never
+seen it. Alongside the total-time verdict each workload gets *per-stage
+attribution* ("match regressed, transform unchanged") from the stage
+columns the records already carry, and a *cost-model drift* check: the
+stored :func:`~repro.observe.rank_agreement` summaries are compared over
+time, so a change that silently breaks Algorithm 1's ranking accuracy is
+flagged even when wall time looks fine.
+
+Everything here is pure arithmetic over stored records — no wall clock —
+so the gate's behavior is fully testable with synthetic histories
+(``tests/test_trajectory.py`` proves a 2× slowdown is separated from
+±5% jitter deterministically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.trajectory import BenchRecord, WorkloadStats, mad, median
+
+__all__ = [
+    "StageVerdict",
+    "TrajectoryComparison",
+    "WorkloadVerdict",
+    "compare_to_history",
+]
+
+#: The morphed-run stages records carry (ComparisonRow's stage columns).
+_STAGES = ("transform", "match", "convert", "executor")
+
+#: Band half-width in robust noise units (median ± k·MAD).
+DEFAULT_K = 4.0
+#: Relative noise floor: the band is never narrower than this fraction
+#: of the historical median (guards against a deceptively quiet history).
+DEFAULT_FLOOR_FRAC = 0.03
+#: Rank-agreement drop (absolute) that flags cost-model drift.
+DEFAULT_DRIFT_TOLERANCE = 0.15
+
+
+def _classify(
+    current: float,
+    history_medians: Sequence[float],
+    history_mads: Sequence[float],
+    k: float,
+    floor_frac: float,
+) -> tuple[str, float, float]:
+    """Verdict for one scalar: ``(verdict, history_median, threshold)``.
+
+    The noise scale is the most pessimistic of: the spread *between*
+    historical medians, the typical *within-record* MAD, and the
+    relative floor — so both cross-run drift and per-run jitter widen
+    the band.
+    """
+    hist = median(history_medians)
+    noise = max(
+        mad(history_medians),
+        median(history_mads) if history_mads else 0.0,
+        floor_frac * abs(hist),
+    )
+    threshold = k * noise
+    if current > hist + threshold:
+        return "regressed", hist, threshold
+    if current < hist - threshold:
+        return "improved", hist, threshold
+    return "unchanged", hist, threshold
+
+
+@dataclass(frozen=True)
+class StageVerdict:
+    """One stage's verdict within a workload comparison."""
+
+    stage: str
+    verdict: str
+    current: float
+    history_median: float
+    threshold: float
+
+
+@dataclass
+class WorkloadVerdict:
+    """Noise-aware verdict for one workload of the candidate record."""
+
+    key: str
+    #: ``regressed`` / ``improved`` / ``unchanged`` / ``new``.
+    verdict: str
+    current_median: float
+    history_median: float | None = None
+    threshold: float | None = None
+    #: Per-stage attribution, in stage order.
+    stages: list[StageVerdict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float | None:
+        """Current/history median ratio (>1 means slower)."""
+        if not self.history_median:
+            return None
+        return self.current_median / self.history_median
+
+    def attribution(self) -> str:
+        """Compact per-stage story, e.g. ``match regressed, rest unchanged``.
+
+        Stages contributing under a millisecond are skipped — attribution
+        noise, not signal.
+        """
+        moved = [
+            f"{s.stage} {s.verdict}"
+            for s in self.stages
+            if s.verdict != "unchanged"
+            and max(s.current, s.history_median) >= 1e-3
+        ]
+        if not moved:
+            return "all stages unchanged"
+        return ", ".join(moved) + ", rest unchanged"
+
+    def render(self) -> str:
+        """One human-readable verdict line."""
+        if self.verdict == "new":
+            return (
+                f"{self.key}: new (no history; "
+                f"median {self.current_median:.4f}s)"
+            )
+        ratio = self.ratio
+        line = (
+            f"{self.key}: {self.verdict} "
+            f"(median {self.current_median:.4f}s vs {self.history_median:.4f}s"
+            f" ±{self.threshold:.4f}s"
+        )
+        if ratio is not None:
+            line += f", {ratio:.2f}x"
+        line += f") — {self.attribution()}"
+        for note in self.notes:
+            line += f"\n    note: {note}"
+        return line
+
+
+@dataclass
+class TrajectoryComparison:
+    """The gate's full output: verdicts, drift flags, comparability."""
+
+    verdicts: list[WorkloadVerdict] = field(default_factory=list)
+    #: Fingerprint mismatches etc. — when non-empty, treat verdicts as
+    #: advisory (the environments are not comparable).
+    warnings: list[str] = field(default_factory=list)
+    #: Workload key → ``drifted``/``stable`` for stored rank-agreement.
+    drift: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def regressed(self) -> list[WorkloadVerdict]:
+        """Workloads whose median escaped the band upward."""
+        return [v for v in self.verdicts if v.verdict == "regressed"]
+
+    @property
+    def improved(self) -> list[WorkloadVerdict]:
+        """Workloads whose median escaped the band downward."""
+        return [v for v in self.verdicts if v.verdict == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and the cost model didn't drift."""
+        return not self.regressed and "drifted" not in self.drift.values()
+
+    def render(self) -> str:
+        """The multi-line report ``bench compare`` prints."""
+        lines = []
+        for warning in self.warnings:
+            lines.append(f"! {warning}")
+        for verdict in self.verdicts:
+            lines.append(verdict.render())
+        for key, state in sorted(self.drift.items()):
+            if state == "drifted":
+                lines.append(
+                    f"{key}: cost-model rank agreement drifted (see notes)"
+                )
+        if not self.verdicts:
+            lines.append("(no workloads to compare)")
+        summary = (
+            f"# {len(self.regressed)} regressed, {len(self.improved)} improved, "
+            f"{sum(1 for v in self.verdicts if v.verdict == 'unchanged')} "
+            f"unchanged, "
+            f"{sum(1 for v in self.verdicts if v.verdict == 'new')} new"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _history_for(
+    key: str, history: Sequence[BenchRecord]
+) -> list[WorkloadStats]:
+    return [r.workloads[key] for r in history if key in r.workloads]
+
+
+def compare_to_history(
+    candidate: BenchRecord,
+    history: Sequence[BenchRecord],
+    k: float = DEFAULT_K,
+    floor_frac: float = DEFAULT_FLOOR_FRAC,
+    drift_tolerance: float = DEFAULT_DRIFT_TOLERANCE,
+) -> TrajectoryComparison:
+    """Gate ``candidate`` against the stored trajectory.
+
+    ``k`` scales the acceptance band (median ± k·MAD), ``floor_frac``
+    is the relative noise floor, and ``drift_tolerance`` is the absolute
+    rank-agreement drop that flags cost-model drift. Records in
+    ``history`` that postdate the candidate (seq ≥ candidate's) are
+    ignored, so passing the whole store is safe.
+    """
+    history = [r for r in history if r.seq < candidate.seq or candidate.seq <= 0]
+    comparison = TrajectoryComparison()
+    if history:
+        mismatches = candidate.fingerprint.mismatches(history[-1].fingerprint)
+        if mismatches:
+            comparison.warnings.append(
+                "environment fingerprint mismatch vs latest history record "
+                f"({'; '.join(mismatches)}) — verdicts are advisory"
+            )
+
+    for key, stats in sorted(candidate.workloads.items()):
+        past = _history_for(key, history)
+        if not past:
+            comparison.verdicts.append(
+                WorkloadVerdict(
+                    key=key,
+                    verdict="new",
+                    current_median=stats.morphed.median,
+                )
+            )
+            continue
+        verdict_str, hist_median, threshold = _classify(
+            stats.morphed.median,
+            [p.morphed.median for p in past],
+            [p.morphed.mad for p in past],
+            k,
+            floor_frac,
+        )
+        verdict = WorkloadVerdict(
+            key=key,
+            verdict=verdict_str,
+            current_median=stats.morphed.median,
+            history_median=hist_median,
+            threshold=threshold,
+        )
+        for stage in _STAGES:
+            if stage not in stats.stage_seconds:
+                continue
+            stage_history = [
+                p.stage_seconds[stage]
+                for p in past
+                if stage in p.stage_seconds
+            ]
+            if not stage_history:
+                continue
+            stage_verdict, stage_hist, stage_threshold = _classify(
+                stats.stage_seconds[stage], stage_history, [], k, floor_frac
+            )
+            verdict.stages.append(
+                StageVerdict(
+                    stage=stage,
+                    verdict=stage_verdict,
+                    current=stats.stage_seconds[stage],
+                    history_median=stage_hist,
+                    threshold=stage_threshold,
+                )
+            )
+
+        past_agreements = [
+            p.rank_agreement for p in past if p.rank_agreement is not None
+        ]
+        if stats.rank_agreement is not None and past_agreements:
+            baseline = median(past_agreements)
+            if stats.rank_agreement < baseline - drift_tolerance:
+                comparison.drift[key] = "drifted"
+                verdict.notes.append(
+                    "cost-model drift: rank agreement "
+                    f"{stats.rank_agreement:.2f} vs historical "
+                    f"{baseline:.2f} (tolerance {drift_tolerance:.2f})"
+                )
+            else:
+                comparison.drift[key] = "stable"
+        comparison.verdicts.append(verdict)
+    return comparison

@@ -1,0 +1,615 @@
+"""Benchmark trajectory store: the repo's performance memory across PRs.
+
+One :class:`BenchRecord` is one longitudinal data point — a
+schema-versioned JSON file named ``BENCH_<seq>.json`` at the repo root,
+carrying an environment fingerprint (git sha, python/numpy versions,
+CPU count), repeated-trial robust statistics (median, MAD, IQR) per
+workload, and the per-stage seconds / set-op counters / peak-RSS
+columns :class:`~repro.bench.harness.ComparisonRow` already reports.
+The stored trajectory is what lets :mod:`repro.bench.regress` tell a
+real regression from run-to-run noise — the paper's §7 speedup claims
+(1.2–34×) are longitudinal claims, and without a trajectory nothing can
+say whether a future change quietly erodes them.
+
+Producers of records:
+
+* ``python -m repro.cli bench record`` — the standing suite
+  (:func:`record_suite`), repeated-trial, written at the repo root;
+* ``python benchmarks/run_all.py --record PATH`` — the figure harness's
+  rows, same schema, single-trial.
+
+Statistics here are *robust* by design: the median ignores a slow
+outlier trial, and the MAD/IQR quantify the noise the regression gate
+must tolerate. All helpers are pure (no wall clock), so synthetic
+histories in tests are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform_mod
+import re
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.bench.harness import ComparisonRow
+
+__all__ = [
+    "BenchRecord",
+    "EnvFingerprint",
+    "TrialSummary",
+    "WorkloadStats",
+    "collect_record",
+    "list_record_paths",
+    "load_record",
+    "load_trajectory",
+    "mad",
+    "median",
+    "next_seq",
+    "iqr",
+    "record_suite",
+    "save_record",
+    "workload_key",
+]
+
+#: Stamped into every record; readers reject files from the future.
+SCHEMA_VERSION = 1
+
+_RECORD_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+# -- robust statistics (pure; synthetic-history tests rely on this) --------
+
+
+def median(samples: Sequence[float]) -> float:
+    """Median of ``samples`` (mean of the middle pair for even counts)."""
+    if not samples:
+        raise ValueError("median of empty sample set")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad(samples: Sequence[float]) -> float:
+    """Median absolute deviation — the robust noise scale the gate uses."""
+    center = median(samples)
+    return median([abs(x - center) for x in samples])
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sequence."""
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def iqr(samples: Sequence[float]) -> float:
+    """Interquartile range (Q3 − Q1, linear interpolation)."""
+    if not samples:
+        raise ValueError("iqr of empty sample set")
+    ordered = sorted(samples)
+    return _quantile(ordered, 0.75) - _quantile(ordered, 0.25)
+
+
+# -- schema ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Robust statistics over one scalar's repeated trials."""
+
+    median: float
+    mad: float
+    iqr: float
+    best: float
+    worst: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "TrialSummary":
+        """Summarize raw per-trial samples."""
+        return cls(
+            median=median(samples),
+            mad=mad(samples),
+            iqr=iqr(samples),
+            best=min(samples),
+            worst=max(samples),
+        )
+
+    def to_json(self) -> dict[str, float]:
+        """Flat JSON form."""
+        return {
+            "median": self.median,
+            "mad": self.mad,
+            "iqr": self.iqr,
+            "best": self.best,
+            "worst": self.worst,
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "TrialSummary":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            median=float(record["median"]),
+            mad=float(record["mad"]),
+            iqr=float(record["iqr"]),
+            best=float(record["best"]),
+            worst=float(record["worst"]),
+        )
+
+
+@dataclass(frozen=True)
+class EnvFingerprint:
+    """Where a record was measured — the comparability check's input.
+
+    ``git_sha`` identifies the code under test (expected to differ
+    between records); the remaining fields describe the machine and
+    toolchain, and a mismatch there makes cross-record verdicts
+    advisory (:meth:`mismatches`).
+    """
+
+    git_sha: str
+    python: str
+    numpy: str
+    platform: str
+    cpu_count: int
+
+    @classmethod
+    def capture(cls) -> "EnvFingerprint":
+        """Fingerprint the current process's environment."""
+        try:
+            sha = (
+                subprocess.run(
+                    ["git", "rev-parse", "HEAD"],
+                    capture_output=True,
+                    text=True,
+                    timeout=10,
+                    cwd=os.path.dirname(os.path.abspath(__file__)),
+                ).stdout.strip()
+                or "unknown"
+            )
+        except OSError:
+            sha = "unknown"
+        try:
+            import numpy
+
+            numpy_version = numpy.__version__
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            numpy_version = "absent"
+        return cls(
+            git_sha=sha,
+            python=sys.version.split()[0],
+            numpy=numpy_version,
+            platform=f"{_platform_mod.system()}-{_platform_mod.machine()}",
+            cpu_count=os.cpu_count() or 1,
+        )
+
+    def mismatches(self, other: "EnvFingerprint") -> list[str]:
+        """Human-readable differences that break timing comparability.
+
+        ``git_sha`` is deliberately excluded — records from different
+        commits are the whole point of a trajectory.
+        """
+        out = []
+        for fld in ("python", "numpy", "platform", "cpu_count"):
+            mine, theirs = getattr(self, fld), getattr(other, fld)
+            if mine != theirs:
+                out.append(f"{fld}: {mine} vs {theirs}")
+        return out
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat JSON form."""
+        return {
+            "git_sha": self.git_sha,
+            "python": self.python,
+            "numpy": self.numpy,
+            "platform": self.platform,
+            "cpu_count": self.cpu_count,
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "EnvFingerprint":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            git_sha=str(record.get("git_sha", "unknown")),
+            python=str(record.get("python", "unknown")),
+            numpy=str(record.get("numpy", "unknown")),
+            platform=str(record.get("platform", "unknown")),
+            cpu_count=int(record.get("cpu_count", 1)),
+        )
+
+
+#: Counter columns copied off the morphed run's ``EngineStats``.
+_COUNTER_FIELDS = (
+    "intersections",
+    "differences",
+    "galloped",
+    "elements_scanned",
+)
+
+
+def workload_key(workload: str, graph: str) -> str:
+    """Stable per-workload key: ``workload@graph``."""
+    return f"{workload}@{graph}"
+
+
+@dataclass
+class WorkloadStats:
+    """One workload's longitudinal columns inside a record."""
+
+    workload: str
+    graph: str
+    trials: int
+    workers: int
+    #: Robust stats over the morphed run's total seconds per trial.
+    morphed: TrialSummary
+    #: Same for the unmorphed baseline run.
+    baseline: TrialSummary
+    #: Median per-stage seconds of the morphed run (transform / match /
+    #: convert / executor — the ComparisonRow stage columns).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Median set-op counters of the morphed run.
+    counters: dict[str, float] = field(default_factory=dict)
+    #: Process high-water mark (max over trials), plus per-run deltas.
+    peak_rss_kib: int = 0
+    baseline_rss_delta_kib: int = 0
+    morphed_rss_delta_kib: int = 0
+    #: Cost-model audit summary: predicted-vs-measured rank concordance
+    #: (:func:`repro.observe.rank_agreement`) when a trial was traced.
+    rank_agreement: float | None = None
+
+    @property
+    def key(self) -> str:
+        """The workload's trajectory key (``workload@graph``)."""
+        return workload_key(self.workload, self.graph)
+
+    @property
+    def speedup(self) -> float:
+        """Median-over-median morphed speedup."""
+        if self.morphed.median <= 0:
+            return float("inf")
+        return self.baseline.median / self.morphed.median
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[ComparisonRow],
+        rank_agreement: float | None = None,
+    ) -> "WorkloadStats":
+        """Condense repeated :class:`ComparisonRow` trials of one workload."""
+        if not rows:
+            raise ValueError("WorkloadStats needs at least one trial row")
+        first = rows[0]
+        if any(
+            (r.workload, r.graph) != (first.workload, first.graph) for r in rows
+        ):
+            raise ValueError("trial rows mix workloads")
+        stage_seconds = {
+            stage: median([getattr(r, f"{stage}_seconds") for r in rows])
+            for stage in ("transform", "match", "convert", "executor")
+        }
+        counters = {
+            f"setops.{name}": median(
+                [float(getattr(r.morphed_stats.setops, name)) for r in rows]
+            )
+            for name in _COUNTER_FIELDS
+        }
+        counters["setops.seconds"] = median(
+            [r.morphed_stats.setops.seconds for r in rows]
+        )
+        counters["matches"] = median(
+            [float(r.morphed_stats.matches) for r in rows]
+        )
+        return cls(
+            workload=first.workload,
+            graph=first.graph,
+            trials=len(rows),
+            workers=first.workers,
+            morphed=TrialSummary.from_samples([r.morphed_seconds for r in rows]),
+            baseline=TrialSummary.from_samples(
+                [r.baseline_seconds for r in rows]
+            ),
+            stage_seconds=stage_seconds,
+            counters=counters,
+            peak_rss_kib=max(r.peak_rss_kib for r in rows),
+            baseline_rss_delta_kib=max(r.baseline_rss_delta_kib for r in rows),
+            morphed_rss_delta_kib=max(r.morphed_rss_delta_kib for r in rows),
+            rank_agreement=rank_agreement,
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat JSON form."""
+        return {
+            "workload": self.workload,
+            "graph": self.graph,
+            "trials": self.trials,
+            "workers": self.workers,
+            "morphed": self.morphed.to_json(),
+            "baseline": self.baseline.to_json(),
+            "stage_seconds": dict(self.stage_seconds),
+            "counters": dict(self.counters),
+            "peak_rss_kib": self.peak_rss_kib,
+            "baseline_rss_delta_kib": self.baseline_rss_delta_kib,
+            "morphed_rss_delta_kib": self.morphed_rss_delta_kib,
+            "rank_agreement": self.rank_agreement,
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "WorkloadStats":
+        """Inverse of :meth:`to_json`."""
+        ra = record.get("rank_agreement")
+        return cls(
+            workload=str(record["workload"]),
+            graph=str(record["graph"]),
+            trials=int(record["trials"]),
+            workers=int(record.get("workers", 1)),
+            morphed=TrialSummary.from_json(record["morphed"]),
+            baseline=TrialSummary.from_json(record["baseline"]),
+            stage_seconds={
+                k: float(v) for k, v in record.get("stage_seconds", {}).items()
+            },
+            counters={
+                k: float(v) for k, v in record.get("counters", {}).items()
+            },
+            peak_rss_kib=int(record.get("peak_rss_kib", 0)),
+            baseline_rss_delta_kib=int(record.get("baseline_rss_delta_kib", 0)),
+            morphed_rss_delta_kib=int(record.get("morphed_rss_delta_kib", 0)),
+            rank_agreement=float(ra) if ra is not None else None,
+        )
+
+
+@dataclass
+class BenchRecord:
+    """One trajectory point: every workload's stats plus provenance."""
+
+    seq: int
+    created: str
+    fingerprint: EnvFingerprint
+    workloads: dict[str, WorkloadStats] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[ComparisonRow],
+        seq: int = 0,
+        meta: Mapping[str, Any] | None = None,
+        rank_agreements: Mapping[str, float] | None = None,
+        fingerprint: EnvFingerprint | None = None,
+    ) -> "BenchRecord":
+        """Group trial rows by workload and condense each group.
+
+        ``rank_agreements`` maps :func:`workload_key` keys to the traced
+        trial's predicted-vs-measured concordance, where available.
+        """
+        groups: dict[str, list[ComparisonRow]] = {}
+        for row in rows:
+            groups.setdefault(workload_key(row.workload, row.graph), []).append(
+                row
+            )
+        ras = dict(rank_agreements or {})
+        return cls(
+            seq=seq,
+            created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            fingerprint=fingerprint or EnvFingerprint.capture(),
+            workloads={
+                key: WorkloadStats.from_rows(group, ras.get(key))
+                for key, group in sorted(groups.items())
+            },
+            meta=dict(meta or {}),
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat JSON form (what ``BENCH_<seq>.json`` holds)."""
+        return {
+            "schema_version": self.schema_version,
+            "seq": self.seq,
+            "created": self.created,
+            "fingerprint": self.fingerprint.to_json(),
+            "workloads": {
+                key: stats.to_json() for key, stats in self.workloads.items()
+            },
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "BenchRecord":
+        """Inverse of :meth:`to_json`; rejects future schema versions."""
+        version = int(record.get("schema_version", 0))
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"BENCH record has schema_version={version}, this build "
+                f"reads up to {SCHEMA_VERSION} — update the repo"
+            )
+        return cls(
+            seq=int(record["seq"]),
+            created=str(record.get("created", "")),
+            fingerprint=EnvFingerprint.from_json(record.get("fingerprint", {})),
+            workloads={
+                key: WorkloadStats.from_json(stats)
+                for key, stats in record.get("workloads", {}).items()
+            },
+            meta=dict(record.get("meta", {})),
+            schema_version=version,
+        )
+
+    def write(self, path) -> Path:
+        """Write this record to ``path`` as pretty-printed JSON."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+# -- the store (BENCH_<seq>.json files at the repo root) -------------------
+
+
+def list_record_paths(root=".") -> list[Path]:
+    """All ``BENCH_<seq>.json`` files under ``root``, in sequence order."""
+    root = Path(root)
+    found = []
+    if root.is_dir():
+        for path in root.iterdir():
+            match = _RECORD_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+    return [path for _seq, path in sorted(found)]
+
+
+def next_seq(root=".") -> int:
+    """The next free sequence number in ``root`` (1-based)."""
+    paths = list_record_paths(root)
+    if not paths:
+        return 1
+    return max(int(_RECORD_RE.match(p.name).group(1)) for p in paths) + 1
+
+
+def save_record(record: BenchRecord, root=".") -> Path:
+    """Persist ``record`` as ``BENCH_<seq>.json`` under ``root``.
+
+    A ``seq`` of 0 (the "unassigned" default) is replaced by the next
+    free number in the store.
+    """
+    root = Path(root)
+    if record.seq <= 0:
+        record.seq = next_seq(root)
+    return record.write(root / f"BENCH_{record.seq:04d}.json")
+
+
+def load_record(path) -> BenchRecord:
+    """Read one record file back."""
+    return BenchRecord.from_json(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+
+
+def load_trajectory(root=".") -> list[BenchRecord]:
+    """Every stored record under ``root``, oldest first."""
+    return [load_record(path) for path in list_record_paths(root)]
+
+
+# -- the standing record suite ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One standing workload of the ``bench record`` suite."""
+
+    name: str
+    engine: Callable[[], Any]
+    graph: Callable[[], Any]
+    patterns: Callable[[], list]
+
+
+def record_suite(quick: bool = False) -> list[WorkloadSpec]:
+    """The standing workloads ``bench record`` measures.
+
+    Deliberately small (the suite runs on every PR): motif counting on
+    the MiCo stand-in across two engines, plus the Filter-UDF workload
+    that exercises the vertex-induced conversion path. ``quick`` keeps
+    the two cheapest.
+    """
+    from repro.core.atlas import (
+        EVALUATION_PATTERNS,
+        FOUR_STAR,
+        TAILED_TRIANGLE,
+        motif_patterns,
+    )
+    from repro.engines.graphpi.engine import GraphPiEngine
+    from repro.engines.peregrine.engine import PeregrineEngine
+    from repro.graph import datasets
+
+    specs = [
+        WorkloadSpec(
+            "peregrine/3-MC",
+            PeregrineEngine,
+            datasets.mico,
+            lambda: list(motif_patterns(3)),
+        ),
+        WorkloadSpec(
+            "graphpi/TT+4S-V",
+            GraphPiEngine,
+            datasets.mico,
+            lambda: [
+                TAILED_TRIANGLE.vertex_induced(),
+                FOUR_STAR.vertex_induced(),
+            ],
+        ),
+    ]
+    if not quick:
+        specs += [
+            WorkloadSpec(
+                "peregrine/4-MC",
+                PeregrineEngine,
+                datasets.mico,
+                lambda: list(motif_patterns(4)),
+            ),
+            WorkloadSpec(
+                "peregrine/p1-V",
+                PeregrineEngine,
+                datasets.mico,
+                lambda: [EVALUATION_PATTERNS["p1"].vertex_induced()],
+            ),
+        ]
+    return specs
+
+
+def collect_record(
+    trials: int = 3,
+    quick: bool = False,
+    suite: Sequence[WorkloadSpec] | None = None,
+    meta: Mapping[str, Any] | None = None,
+    log: Callable[[str], None] | None = None,
+) -> BenchRecord:
+    """Measure the record suite and build the (unsaved) record.
+
+    Each workload runs ``trials`` times through
+    :func:`~repro.bench.harness.compare_workload`; the first trial is
+    traced so the record stores the cost model's rank-agreement summary
+    (the drift signal :mod:`repro.bench.regress` watches).
+    """
+    from repro.bench.harness import compare_workload
+    from repro.observe.audit import rank_agreement
+
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    suite = list(suite) if suite is not None else record_suite(quick)
+    rows: list[ComparisonRow] = []
+    agreements: dict[str, float] = {}
+    for spec in suite:
+        graph = spec.graph()
+        patterns = spec.patterns()
+        if log is not None:
+            log(f"measuring {spec.name} on {graph.name} ({trials} trials)")
+        for trial in range(trials):
+            row = compare_workload(
+                spec.engine,
+                graph,
+                patterns,
+                workload=spec.name,
+                trace=trial == 0,
+            )
+            if row.morphed_trace is not None:
+                agreements[workload_key(row.workload, row.graph)] = (
+                    rank_agreement(row.morphed_trace.audits)
+                )
+                row.morphed_trace = None  # the record keeps the summary only
+            rows.append(row)
+    full_meta = {"source": "bench-record", "quick": quick, "trials": trials}
+    full_meta.update(meta or {})
+    return BenchRecord.from_rows(
+        rows, meta=full_meta, rank_agreements=agreements
+    )

@@ -31,6 +31,12 @@ time — §5.2's accuracy story) and a ``selection`` summary record.
 Tracing changes no results (asserted byte-for-byte by the trace
 invariance tests); with ``tracer=None`` nothing is recorded and the
 count path keeps engine-native multi-pattern batching.
+
+**Progress.** Pass ``progress=repro.ProgressReporter()`` and the
+per-item match loop reports live progress: the ETA is seeded from
+Algorithm 1's predicted per-item costs and corrected online by the
+measured ``match.item`` durations (see :mod:`repro.observe.progress`).
+Off by default, at the cost of one ``is None`` test per item.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ from repro.graph.datagraph import DataGraph
 from repro.morph.profiles import profile_for
 from repro.observe.audit import CostAuditRecord
 from repro.observe.export import RunTrace
+from repro.observe.progress import ProgressReporter
 from repro.observe.tracer import Tracer, timed_span
 
 
@@ -115,6 +122,7 @@ class MorphingSession:
         workers: int = 1,
         executor=None,
         tracer: Tracer | None = None,
+        progress: ProgressReporter | None = None,
     ) -> None:
         """Configuration is keyword-only (positional config is a
         deprecated shim, see :mod:`repro._compat`).
@@ -137,7 +145,15 @@ class MorphingSession:
         an executor is supplied.
 
         ``tracer`` attaches structured telemetry (see the module
-        docstring); results are identical traced or not."""
+        docstring); results are identical traced or not.
+
+        ``progress`` attaches a live :class:`repro.ProgressReporter` to
+        the per-item match loop: its ETA is seeded from Algorithm 1's
+        predicted per-item costs and corrected online by the measured
+        ``match.item`` durations. Like tracing, attaching progress
+        trades the count path's engine-native multi-pattern batching for
+        per-item measurement (identical results), and ``progress=None``
+        (the default) costs one ``is None`` test per item."""
         if args:
             from repro import _compat
 
@@ -160,6 +176,7 @@ class MorphingSession:
         self.workers = workers
         self.executor = executor
         self.tracer = tracer
+        self.progress = progress
 
     # -- shard-parallel plumbing -------------------------------------------
 
@@ -404,7 +421,8 @@ class MorphingSession:
                 cached_items = set(store)
                 measured_items = [i for i in measured_items if i not in cached_items]
 
-            if count_mode and tracer is None:
+            progress = self.progress
+            if count_mode and tracer is None and progress is None:
                 # Engine-native multi-pattern execution (AutoZero's merged
                 # schedules, SumPA's abstraction). The traced path trades
                 # it for per-item measurement — identical counts, and the
@@ -414,7 +432,21 @@ class MorphingSession:
                 for item, pattern in concrete.items():
                     store[item] = counts[pattern]
             else:
+                if progress is not None:
+                    progress.start(
+                        [
+                            (
+                                _item_label(item),
+                                selection.item_costs.get(
+                                    item, cost_model.pattern_cost(*item)
+                                ),
+                            )
+                            for item in measured_items
+                        ]
+                    )
                 for item in measured_items:
+                    if progress is not None:
+                        progress.item_started(_item_label(item))
                     with timed_span(
                         tracer, "match.item", item=_item_label(item)
                     ) as item_span:
@@ -422,6 +454,12 @@ class MorphingSession:
                             graph, item, exec_, count_mode
                         )
                     item_seconds[item] = item_span.seconds
+                    if progress is not None:
+                        progress.item_finished(
+                            _item_label(item), item_span.seconds
+                        )
+                if progress is not None:
+                    progress.finish()
             if self.cache is not None:
                 for item in measured_items:
                     self.cache.put(graph, self.aggregation, item, store[item])
@@ -467,16 +505,35 @@ class MorphingSession:
         and a traced run still emits their audit records.
         """
         tracer = self.tracer
+        progress = self.progress
         count_mode = isinstance(self.aggregation, CountAggregation)
         item_seconds: dict[Item, float] = {}
         with timed_span(tracer, "match", items=len(patterns)) as match_span:
-            if count_mode and tracer is None:
+            if count_mode and tracer is None and progress is None:
                 results: dict[Pattern, Any] = dict(
                     self._count_set(graph, patterns, exec_)
                 )
             else:
+                if progress is not None:
+                    # Baseline items get the model's predicted costs when
+                    # the morphed path handed us one (the declined-morph
+                    # case); otherwise uniform weights — the ETA still
+                    # calibrates online from the measured durations.
+                    progress.start(
+                        [
+                            (
+                                pattern_name(p),
+                                cost_model.pattern_cost(*item_of(p))
+                                if cost_model is not None
+                                else 1.0,
+                            )
+                            for p in patterns
+                        ]
+                    )
                 results = {}
                 for p in patterns:
+                    if progress is not None:
+                        progress.item_started(pattern_name(p))
                     with timed_span(
                         tracer, "match.item", item=pattern_name(p)
                     ) as item_span:
@@ -485,6 +542,12 @@ class MorphingSession:
                         else:
                             results[p] = self._aggregate_one(graph, p, exec_)
                     item_seconds[item_of(p)] = item_span.seconds
+                    if progress is not None:
+                        progress.item_finished(
+                            pattern_name(p), item_span.seconds
+                        )
+                if progress is not None:
+                    progress.finish()
         if tracer is not None and selection is not None and cost_model is not None:
             counts_store = (
                 {item_of(p): v for p, v in results.items()} if count_mode else None
@@ -542,9 +605,14 @@ class MorphingSession:
 
         def stream_patterns(items: list[tuple[str, Pattern, Callable]]):
             """Run each (label, pattern, callback), spanning per item."""
+            progress = self.progress
             item_seconds: dict[Item, float] = {}
+            if progress is not None:
+                progress.start([(label, 1.0) for label, _p, _cb in items])
             with timed_span(tracer, "match", items=len(items)) as match_span:
                 for label, pattern, callback in items:
+                    if progress is not None:
+                        progress.item_started(label)
                     with timed_span(
                         tracer, "match.item", item=label
                     ) as item_span:
@@ -553,6 +621,10 @@ class MorphingSession:
                         item_seconds[item_of(pattern)] = item_span.seconds
                     except ValueError:
                         pass  # mixed patterns carry no item
+                    if progress is not None:
+                        progress.item_finished(label, item_span.seconds)
+            if progress is not None:
+                progress.finish()
             return match_span.seconds, item_seconds
 
         if not self.enabled:
@@ -644,13 +716,29 @@ class MorphingSession:
         transform_seconds = transform_span.seconds + plan_span.seconds
 
         item_seconds = {}
+        progress = self.progress
+        live_items = [
+            item
+            for item in sorted(selection.measured, key=repr)
+            if converters[item]
+        ]
+        if progress is not None:
+            progress.start(
+                [
+                    (
+                        _item_label(item),
+                        selection.item_costs.get(
+                            item, cost_model.pattern_cost(*item)
+                        ),
+                    )
+                    for item in live_items
+                ]
+            )
         with timed_span(
             tracer, "match", items=len(selection.measured)
         ) as match_span:
-            for item in sorted(selection.measured, key=repr):
+            for item in live_items:
                 fan_out = converters[item]
-                if not fan_out:
-                    continue
 
                 def on_match(alt_pattern: Pattern, match: Match, _fan=fan_out) -> None:
                     if vertex_filter is not None and not vertex_filter(match):
@@ -658,11 +746,17 @@ class MorphingSession:
                     for converter in _fan:
                         converter(match)
 
+                if progress is not None:
+                    progress.item_started(_item_label(item))
                 with timed_span(
                     tracer, "match.item", item=_item_label(item)
                 ) as item_span:
                     self._explore(graph, materialize(item), on_match, exec_)
                 item_seconds[item] = item_span.seconds
+                if progress is not None:
+                    progress.item_finished(_item_label(item), item_span.seconds)
+        if progress is not None:
+            progress.finish()
         match_seconds = match_span.seconds
 
         if tracer is not None:

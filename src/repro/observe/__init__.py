@@ -9,6 +9,12 @@ and one :class:`CostAuditRecord` per measured alternative pattern —
 Algorithm 1's predicted cost next to the match time actually observed
 (§5.2's accuracy story, made checkable).
 
+:class:`ProgressReporter` is the live side of the same substrate: a
+per-item progress/ETA line whose estimate starts from Algorithm 1's
+predicted per-item costs and is corrected online by the measured
+``match.item`` durations (``repro.run(..., progress=True)``, CLI
+``--progress``).
+
 Exporters: :func:`write_jsonl` / :func:`load_trace` for the cookbook's
 analysis recipes and the tests, :func:`write_chrome_trace` for flame
 graphs in ``chrome://tracing`` / Perfetto. Tracing off costs nothing:
@@ -25,11 +31,14 @@ from repro.observe.export import (
     write_jsonl,
 )
 from repro.observe.metrics import MetricsRegistry
+from repro.observe.progress import ProgressReporter, ProgressSnapshot
 from repro.observe.tracer import Span, Tracer, timed_span
 
 __all__ = [
     "CostAuditRecord",
     "MetricsRegistry",
+    "ProgressReporter",
+    "ProgressSnapshot",
     "RunTrace",
     "Span",
     "Tracer",

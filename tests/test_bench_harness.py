@@ -35,11 +35,13 @@ class TestCompareWorkload:
         )
         fields = row.csv().split(",")
         assert fields[0] == "tri"
-        assert len(fields) == 12
+        assert len(fields) == 14
         assert fields[5] == "1"  # serial by default
         assert int(fields[6]) > 0  # peak RSS of a live process is nonzero
+        # Per-run RSS delta columns are non-negative integers.
+        assert int(fields[7]) >= 0 and int(fields[8]) >= 0
         # Per-stage columns reconcile with the row's phase fields.
-        assert float(fields[8]) == pytest.approx(row.match_seconds, abs=1e-4)
+        assert float(fields[10]) == pytest.approx(row.match_seconds, abs=1e-4)
         assert fields[-1] == row.dominant_stage
 
     def test_workers_recorded(self, small_graph):
@@ -82,6 +84,14 @@ class TestCompareWorkload:
         )
         # ru_maxrss high-water mark: at least the interpreter's footprint.
         assert row.peak_rss_kib > 1024
+        # Per-run deltas: ru_maxrss is monotonic, so each run can only
+        # raise the mark (or leave it); their sum never exceeds it.
+        assert row.baseline_rss_delta_kib >= 0
+        assert row.morphed_rss_delta_kib >= 0
+        assert (
+            row.baseline_rss_delta_kib + row.morphed_rss_delta_kib
+            <= row.peak_rss_kib
+        )
 
 
 class TestFigureReport:
@@ -133,13 +143,28 @@ class TestHelpers:
         engine = PeregrineEngine()
         engine.count(small_graph, TRIANGLE)
         row = breakdown_row("x", engine.stats)
-        assert row["label"] == "x"
-        total_pct = row["setops"] + row["udf"] + row["filter"] + row["other"]
+        assert row.label == "x"
+        total_pct = row.setops + row.udf + row.filter + row.other
         assert total_pct == pytest.approx(100.0, abs=1.0)
 
     def test_breakdown_row_zero_total(self):
         row = breakdown_row("empty", EngineStats())
-        assert row["total"] == 0.0
+        assert row.total == 0.0
+
+    def test_breakdown_row_as_dict(self, small_graph):
+        """The mapping view feeds breakdown_chart and extra_info."""
+        engine = PeregrineEngine()
+        engine.count(small_graph, TRIANGLE)
+        row = breakdown_row("x", engine.stats)
+        mapping = row.as_dict()
+        assert mapping["label"] == "x"
+        assert set(mapping) == {
+            "label", "setops", "udf", "filter", "other", "total"
+        }
+        from repro.bench.reporting import breakdown_chart
+
+        chart = breakdown_chart([(row.label, mapping)])
+        assert "x" in chart
 
 
 class TestReductionMetrics:

@@ -318,3 +318,191 @@ class TestTracerPrimitives:
             small_graph, list(motif_patterns(4))
         )
         assert plain.results == traced.results
+
+
+class TestProgressReporter:
+    """Cost-seeded ETA math on a fake clock — fully deterministic."""
+
+    def _reporter(self, **kwargs):
+        from repro.observe import ProgressReporter
+
+        clock = {"now": 0.0}
+        reporter = ProgressReporter(
+            stream=None, clock=lambda: clock["now"], **kwargs
+        )
+        return reporter, clock
+
+    def test_eta_calibrates_from_measurements(self):
+        reporter, clock = self._reporter()
+        reporter.start([("a", 1.0), ("b", 3.0)])
+        # Before anything finishes: no rate, no ETA.
+        assert reporter.seconds_per_cost is None
+        assert reporter.eta_seconds() is None
+        reporter.item_started("a")
+        clock["now"] = 2.0
+        reporter.item_finished("a", 2.0)
+        # 2 measured seconds over 1 predicted cost unit ⇒ 2 s/unit;
+        # 3 units remain ⇒ ETA 6 s.
+        assert reporter.seconds_per_cost == pytest.approx(2.0)
+        assert reporter.eta_seconds() == pytest.approx(6.0)
+        snap = reporter.snapshot()
+        assert snap.done_items == 1 and snap.total_items == 2
+        assert snap.fraction_done == pytest.approx(0.25)  # cost-weighted
+        assert snap.elapsed_seconds == pytest.approx(2.0)
+
+    def test_prior_seeds_eta_before_first_finish(self):
+        reporter, _clock = self._reporter(seconds_per_cost=0.5)
+        reporter.start([("a", 4.0), ("b", 4.0)])
+        # Algorithm 1's predicted costs × the prior ⇒ an ETA up front.
+        assert reporter.eta_seconds() == pytest.approx(4.0)
+        reporter.item_finished("a", 1.0)
+        # Measurements override the prior (1s / 4 units = 0.25 s/unit).
+        assert reporter.seconds_per_cost == pytest.approx(0.25)
+        assert reporter.eta_seconds() == pytest.approx(1.0)
+
+    def test_zero_cost_items_stay_finite(self):
+        reporter, _clock = self._reporter()
+        reporter.start([("a", 0.0), ("b", 0.0)])
+        snap = reporter.snapshot()
+        assert snap.total_cost > 0
+        assert 0.0 <= snap.fraction_done <= 1.0
+        reporter.item_finished("a", 0.0)
+        assert reporter.eta_seconds() is not None
+
+    def test_duplicate_and_unknown_finishes_ignored(self):
+        reporter, _clock = self._reporter()
+        reporter.start([("a", 1.0)])
+        reporter.item_finished("a", 1.0)
+        reporter.item_finished("a", 1.0)   # double-finish: no double count
+        reporter.item_finished("ghost", 5.0)  # unknown label: ignored
+        snap = reporter.snapshot()
+        assert snap.done_items == 1
+        assert reporter.seconds_per_cost == pytest.approx(1.0)
+
+    def test_rendering_to_stream(self):
+        import io
+
+        from repro.observe import ProgressReporter
+
+        clock = {"now": 0.0}
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            stream=stream, min_interval=0.0, clock=lambda: clock["now"]
+        )
+        reporter.start([("tri", 1.0), ("star", 1.0)])
+        reporter.item_started("tri")
+        clock["now"] = 0.5
+        reporter.item_finished("tri", 0.5)
+        reporter.item_started("star")
+        clock["now"] = 1.0
+        reporter.item_finished("star", 0.5)
+        reporter.finish()
+        text = stream.getvalue()
+        assert "# progress" in text
+        assert "eta ~" in text
+        assert "(tri)" in text
+        # Final line is newline-terminated and reports completion.
+        final = text.rstrip("\n").rsplit("\r", 1)[-1]
+        assert "2/2 items" in final and "done in" in final
+        assert text.endswith("\n")
+
+    def test_throttling_respects_min_interval(self):
+        import io
+
+        from repro.observe import ProgressReporter
+
+        clock = {"now": 0.0}
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            stream=stream, min_interval=10.0, clock=lambda: clock["now"]
+        )
+        reporter.start([(str(i), 1.0) for i in range(50)])
+        baseline_len = len(stream.getvalue())
+        for i in range(50):  # all within the 10s window: no redraws
+            reporter.item_finished(str(i), 0.01)
+        assert len(stream.getvalue()) == baseline_len
+        reporter.finish()  # the final line always renders
+        assert "50/50 items" in stream.getvalue()
+
+    def test_reporter_is_reusable(self):
+        reporter, _clock = self._reporter()
+        reporter.start([("a", 1.0)])
+        reporter.item_finished("a", 1.0)
+        reporter.finish()
+        reporter.start([("b", 2.0), ("c", 2.0)])
+        snap = reporter.snapshot()
+        assert snap.done_items == 0 and snap.total_items == 2
+        assert reporter.seconds_per_cost is None  # calibration reset too
+
+
+class TestProgressIntegration:
+    """Progress attached to real sessions: results stay identical."""
+
+    def test_morphed_results_identical_with_progress(self, small_graph):
+        from repro.observe import ProgressReporter
+
+        patterns = list(motif_patterns(4))
+        plain = MorphingSession(PeregrineEngine()).run(small_graph, patterns)
+        reporter = ProgressReporter(stream=None)
+        watched = MorphingSession(PeregrineEngine(), progress=reporter).run(
+            small_graph, patterns
+        )
+        assert plain.results == watched.results
+        snap = reporter.snapshot()
+        assert snap.done_items == snap.total_items == len(watched.measured)
+        assert snap.fraction_done == 1.0
+
+    def test_baseline_results_identical_with_progress(self, small_graph):
+        from repro.observe import ProgressReporter
+
+        patterns = list(motif_patterns(3))
+        plain = MorphingSession(PeregrineEngine(), enabled=False).run(
+            small_graph, patterns
+        )
+        reporter = ProgressReporter(stream=None)
+        watched = MorphingSession(
+            PeregrineEngine(), enabled=False, progress=reporter
+        ).run(small_graph, patterns)
+        assert plain.results == watched.results
+        assert reporter.snapshot().done_items == len(patterns)
+
+    def test_run_facade_progress_kwarg(self, small_graph):
+        import repro
+
+        patterns = list(motif_patterns(3))
+        plain = repro.run(small_graph, patterns)
+        reporter = repro.ProgressReporter(stream=None)
+        watched = repro.run(small_graph, patterns, progress=reporter)
+        assert plain.results == watched.results
+        assert reporter.snapshot().total_items > 0
+
+    def test_progress_and_tracer_compose(self, small_graph):
+        from repro.observe import ProgressReporter
+
+        patterns = list(motif_patterns(4))
+        plain = MorphingSession(PeregrineEngine()).run(small_graph, patterns)
+        reporter = ProgressReporter(stream=None)
+        both = MorphingSession(
+            PeregrineEngine(), tracer=Tracer(), progress=reporter
+        ).run(small_graph, patterns)
+        assert plain.results == both.results
+        # The measured durations fed to the reporter are the same
+        # match.item spans the trace records.
+        assert reporter.snapshot().done_items == len(
+            [s for s in both.trace.spans if s.name == "match.item"]
+        )
+
+    def test_streaming_progress(self, small_graph):
+        from repro.observe import ProgressReporter
+
+        reporter = ProgressReporter(stream=None)
+        session = MorphingSession(PeregrineEngine(), progress=reporter)
+        matches = []
+        result = session.run_streaming(
+            small_graph, list(motif_patterns(3)),
+            lambda p, m: matches.append(m),
+        )
+        assert matches
+        assert result.results
+        snap = reporter.snapshot()
+        assert snap.done_items == snap.total_items > 0

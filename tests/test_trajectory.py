@@ -1,0 +1,413 @@
+"""Trajectory store + regression gate, on fully synthetic histories.
+
+No test here asserts on wall-clock measurements: records are built from
+hand-written samples, so the separation the gate promises (a 2× slowdown
+flagged ``regressed`` while ±5% jitter stays ``unchanged``) is proven
+deterministically, exactly as the module docstrings claim.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import ComparisonRow
+from repro.bench.regress import (
+    TrajectoryComparison,
+    WorkloadVerdict,
+    compare_to_history,
+)
+from repro.bench.trajectory import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    EnvFingerprint,
+    TrialSummary,
+    WorkloadStats,
+    iqr,
+    list_record_paths,
+    load_record,
+    load_trajectory,
+    mad,
+    median,
+    next_seq,
+    save_record,
+    workload_key,
+)
+from repro.engines.base import EngineStats
+
+FP = EnvFingerprint(
+    git_sha="aaaa", python="3.11.0", numpy="1.26.0",
+    platform="Linux-x86_64", cpu_count=4,
+)
+
+
+def _row(seconds: float, workload: str = "w", graph: str = "g") -> ComparisonRow:
+    """A synthetic trial row whose morphed time is ``seconds``."""
+    return ComparisonRow(
+        workload=workload,
+        graph=graph,
+        baseline_seconds=seconds * 2.0,
+        morphed_seconds=seconds,
+        baseline_stats=EngineStats(),
+        morphed_stats=EngineStats(),
+        results_equal=True,
+        morphed_patterns=1,
+        peak_rss_kib=2048,
+        baseline_rss_delta_kib=100,
+        morphed_rss_delta_kib=50,
+        transform_seconds=0.1 * seconds,
+        match_seconds=0.8 * seconds,
+        convert_seconds=0.1 * seconds,
+    )
+
+
+def _stats(
+    morphed_median: float,
+    morphed_mad: float = 0.0,
+    stage_seconds: dict | None = None,
+    rank_agreement: float | None = None,
+) -> WorkloadStats:
+    summary = TrialSummary(
+        median=morphed_median, mad=morphed_mad, iqr=2 * morphed_mad,
+        best=morphed_median - morphed_mad, worst=morphed_median + morphed_mad,
+    )
+    base = TrialSummary(
+        median=2 * morphed_median, mad=morphed_mad, iqr=2 * morphed_mad,
+        best=2 * morphed_median, worst=2 * morphed_median,
+    )
+    return WorkloadStats(
+        workload="w", graph="g", trials=3, workers=1,
+        morphed=summary, baseline=base,
+        stage_seconds=stage_seconds
+        or {"transform": 0.1 * morphed_median, "match": 0.8 * morphed_median,
+            "convert": 0.1 * morphed_median, "executor": 0.0},
+        rank_agreement=rank_agreement,
+    )
+
+
+def _record(
+    seq: int,
+    morphed_median: float,
+    morphed_mad: float = 0.0,
+    stage_seconds: dict | None = None,
+    rank_agreement: float | None = None,
+    fingerprint: EnvFingerprint = FP,
+) -> BenchRecord:
+    stats = _stats(morphed_median, morphed_mad, stage_seconds, rank_agreement)
+    return BenchRecord(
+        seq=seq, created="2026-01-01T00:00:00+00:00", fingerprint=fingerprint,
+        workloads={stats.key: stats},
+    )
+
+
+class TestRobustStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_ignores_outlier(self):
+        # One wildly slow trial barely moves the robust noise scale.
+        assert mad([1.0, 1.0, 1.0, 100.0]) == 0.0
+        assert mad([1.0, 1.1, 0.9]) == pytest.approx(0.1)
+
+    def test_iqr(self):
+        assert iqr([1.0, 2.0, 3.0, 4.0]) == pytest.approx(1.5)
+        assert iqr([5.0]) == 0.0
+
+    def test_trial_summary_from_samples(self):
+        s = TrialSummary.from_samples([1.0, 1.1, 0.9])
+        assert s.median == 1.0
+        assert s.mad == pytest.approx(0.1)
+        assert s.best == 0.9 and s.worst == pytest.approx(1.1)
+
+
+class TestWorkloadStats:
+    def test_from_rows_condenses_trials(self):
+        rows = [_row(1.0), _row(1.1), _row(0.9)]
+        stats = WorkloadStats.from_rows(rows)
+        assert stats.trials == 3
+        assert stats.morphed.median == 1.0
+        assert stats.morphed.mad == pytest.approx(0.1)
+        assert stats.baseline.median == 2.0
+        assert stats.speedup == pytest.approx(2.0)
+        assert stats.stage_seconds["match"] == pytest.approx(0.8)
+        assert stats.key == workload_key("w", "g") == "w@g"
+        assert stats.peak_rss_kib == 2048
+
+    def test_from_rows_rejects_mixed_workloads(self):
+        with pytest.raises(ValueError, match="mix"):
+            WorkloadStats.from_rows([_row(1.0), _row(1.0, workload="other")])
+
+    def test_from_rows_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WorkloadStats.from_rows([])
+
+
+class TestRecordStore:
+    def test_round_trip(self, tmp_path):
+        record = BenchRecord.from_rows(
+            [_row(1.0), _row(1.2)], meta={"source": "test"},
+            rank_agreements={"w@g": 0.9}, fingerprint=FP,
+        )
+        path = save_record(record, root=tmp_path)
+        assert path.name == "BENCH_0001.json"
+        loaded = load_record(path)
+        assert loaded.seq == 1
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.fingerprint == FP
+        assert loaded.meta == {"source": "test"}
+        stats = loaded.workloads["w@g"]
+        assert stats.morphed.median == pytest.approx(1.1)
+        assert stats.rank_agreement == pytest.approx(0.9)
+        assert stats.counters["matches"] == 0.0
+        # Byte-identical on a second round trip (stable serialization).
+        assert loaded.to_json() == record.to_json()
+
+    def test_seq_numbering_and_order(self, tmp_path):
+        save_record(_record(0, 1.0), root=tmp_path)
+        save_record(_record(0, 1.0), root=tmp_path)
+        paths = list_record_paths(tmp_path)
+        assert [p.name for p in paths] == ["BENCH_0001.json", "BENCH_0002.json"]
+        assert next_seq(tmp_path) == 3
+        trajectory = load_trajectory(tmp_path)
+        assert [r.seq for r in trajectory] == [1, 2]
+
+    def test_explicit_seq_preserved(self, tmp_path):
+        save_record(_record(7, 1.0), root=tmp_path)
+        assert list_record_paths(tmp_path)[0].name == "BENCH_0007.json"
+        assert next_seq(tmp_path) == 8
+
+    def test_future_schema_rejected(self, tmp_path):
+        record = _record(1, 1.0)
+        blob = record.to_json()
+        blob["schema_version"] = SCHEMA_VERSION + 1
+        path = tmp_path / "BENCH_0001.json"
+        path.write_text(json.dumps(blob))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_record(path)
+
+    def test_empty_store(self, tmp_path):
+        assert list_record_paths(tmp_path) == []
+        assert load_trajectory(tmp_path) == []
+        assert next_seq(tmp_path) == 1
+
+
+class TestFingerprint:
+    def test_git_sha_not_a_mismatch(self):
+        other = EnvFingerprint(
+            git_sha="bbbb", python=FP.python, numpy=FP.numpy,
+            platform=FP.platform, cpu_count=FP.cpu_count,
+        )
+        assert FP.mismatches(other) == []
+
+    def test_environment_change_is_a_mismatch(self):
+        other = EnvFingerprint(
+            git_sha=FP.git_sha, python="3.12.0", numpy=FP.numpy,
+            platform=FP.platform, cpu_count=2,
+        )
+        mismatches = FP.mismatches(other)
+        assert any("python" in m for m in mismatches)
+        assert any("cpu_count" in m for m in mismatches)
+
+    def test_capture_smoke(self):
+        fp = EnvFingerprint.capture()
+        assert fp.python
+        assert fp.cpu_count >= 1
+        assert fp.to_json() == EnvFingerprint.from_json(fp.to_json()).to_json()
+
+    def test_mismatch_warning_in_comparison(self):
+        history = [_record(1, 1.0), _record(2, 1.0)]
+        candidate = _record(
+            3, 1.0,
+            fingerprint=EnvFingerprint(
+                git_sha="cccc", python="3.12.0", numpy=FP.numpy,
+                platform=FP.platform, cpu_count=FP.cpu_count,
+            ),
+        )
+        comparison = compare_to_history(candidate, history)
+        assert comparison.warnings
+        assert "advisory" in comparison.warnings[0]
+        # A new sha alone must NOT warn — different commits are the point.
+        clean = compare_to_history(_record(3, 1.0), history)
+        assert clean.warnings == []
+
+
+class TestRegressionGate:
+    #: A jittery-but-stable history: ±5% around a 1.0s median, with
+    #: per-record trial MADs of 3%.
+    HISTORY = [
+        _record(seq, m, morphed_mad=0.03)
+        for seq, m in enumerate([1.00, 1.05, 0.95, 1.02, 0.98], start=1)
+    ]
+
+    def test_jitter_stays_unchanged(self):
+        for wobble in (0.95, 1.0, 1.05):
+            candidate = _record(9, wobble, morphed_mad=0.03)
+            comparison = compare_to_history(candidate, self.HISTORY)
+            (verdict,) = comparison.verdicts
+            assert verdict.verdict == "unchanged", wobble
+            assert comparison.ok
+
+    def test_double_time_is_regressed(self):
+        candidate = _record(9, 2.0, morphed_mad=0.03)
+        comparison = compare_to_history(candidate, self.HISTORY)
+        (verdict,) = comparison.verdicts
+        assert verdict.verdict == "regressed"
+        assert verdict.ratio == pytest.approx(2.0)
+        assert not comparison.ok
+        assert comparison.regressed == [verdict]
+
+    def test_half_time_is_improved(self):
+        candidate = _record(9, 0.5, morphed_mad=0.03)
+        comparison = compare_to_history(candidate, self.HISTORY)
+        assert comparison.verdicts[0].verdict == "improved"
+        assert comparison.ok  # improvements never fail the gate
+
+    def test_quiet_history_still_tolerates_small_jitter(self):
+        # Identical history medians ⇒ MAD 0; the relative floor keeps a
+        # +5% wobble inside the band (floor 3% × k 4 = 12%).
+        history = [_record(seq, 1.0) for seq in range(1, 5)]
+        comparison = compare_to_history(_record(9, 1.05), history)
+        assert comparison.verdicts[0].verdict == "unchanged"
+        comparison = compare_to_history(_record(9, 1.2), history)
+        assert comparison.verdicts[0].verdict == "regressed"
+
+    def test_stage_attribution_pins_the_guilty_stage(self):
+        # History: 1.0s total, split 0.1 transform / 0.8 match / 0.1
+        # convert. Candidate: match alone doubled.
+        candidate = _record(
+            9, 1.8, morphed_mad=0.03,
+            stage_seconds={"transform": 0.1, "match": 1.6,
+                           "convert": 0.1, "executor": 0.0},
+        )
+        comparison = compare_to_history(candidate, self.HISTORY)
+        (verdict,) = comparison.verdicts
+        assert verdict.verdict == "regressed"
+        by_stage = {s.stage: s.verdict for s in verdict.stages}
+        assert by_stage["match"] == "regressed"
+        assert by_stage["transform"] == "unchanged"
+        assert by_stage["convert"] == "unchanged"
+        assert "match regressed" in verdict.attribution()
+        assert "transform" not in verdict.attribution()
+        assert "match regressed" in verdict.render()
+
+    def test_new_workload_verdict(self):
+        comparison = compare_to_history(_record(9, 1.0), [])
+        (verdict,) = comparison.verdicts
+        assert verdict.verdict == "new"
+        assert verdict.ratio is None
+        assert "new" in verdict.render()
+        assert comparison.ok
+
+    def test_history_after_candidate_ignored(self):
+        # Passing the whole store is safe: records with seq >= the
+        # candidate's (including itself) are not history.
+        store = self.HISTORY + [_record(9, 2.0, morphed_mad=0.03)]
+        comparison = compare_to_history(store[-1], store)
+        assert comparison.verdicts[0].verdict == "regressed"
+        first = compare_to_history(self.HISTORY[0], self.HISTORY)
+        assert first.verdicts[0].verdict == "new"
+
+    def test_rank_agreement_drift_flagged(self):
+        history = [
+            _record(seq, 1.0, morphed_mad=0.03, rank_agreement=ra)
+            for seq, ra in enumerate([0.9, 0.85, 0.95], start=1)
+        ]
+        drifted = compare_to_history(
+            _record(9, 1.0, morphed_mad=0.03, rank_agreement=0.5), history
+        )
+        assert drifted.drift == {"w@g": "drifted"}
+        assert not drifted.ok  # wall time fine, but the cost model broke
+        assert any("drift" in n for n in drifted.verdicts[0].notes)
+        assert "drifted" in drifted.render()
+
+        stable = compare_to_history(
+            _record(9, 1.0, morphed_mad=0.03, rank_agreement=0.88), history
+        )
+        assert stable.drift == {"w@g": "stable"}
+        assert stable.ok
+
+    def test_render_summary_line(self):
+        comparison = compare_to_history(
+            _record(9, 2.0, morphed_mad=0.03), self.HISTORY
+        )
+        assert "# 1 regressed, 0 improved, 0 unchanged, 0 new" in (
+            comparison.render()
+        )
+
+    def test_empty_comparison_renders(self):
+        comparison = TrajectoryComparison()
+        assert "(no workloads to compare)" in comparison.render()
+        assert comparison.ok
+
+
+class TestCli:
+    def _seed(self, tmp_path, medians):
+        for m in medians:
+            save_record(_record(0, m, morphed_mad=0.03), root=tmp_path)
+
+    def test_compare_unchanged_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._seed(tmp_path, [1.00, 1.05, 0.95, 1.02])
+        assert main(["bench", "compare", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "w@g: unchanged" in out
+        assert "0 regressed" in out
+
+    def test_compare_regression_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._seed(tmp_path, [1.00, 1.05, 0.95, 2.4])
+        assert main(["bench", "compare", "--root", str(tmp_path)]) == 1
+        assert "regressed" in capsys.readouterr().out
+        # --advisory reports but never fails (the 1-core CI mode).
+        assert main(
+            ["bench", "compare", "--advisory", "--root", str(tmp_path)]
+        ) == 0
+
+    def test_compare_empty_store_errors(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no BENCH"):
+            main(["bench", "compare", "--root", str(tmp_path)])
+
+    def test_compare_explicit_record(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._seed(tmp_path, [1.0, 1.0, 1.0])
+        candidate = tmp_path / "BENCH_0003.json"
+        assert main(
+            ["bench", "compare", "--root", str(tmp_path),
+             "--record", str(candidate)]
+        ) == 0
+        assert "unchanged" in capsys.readouterr().out
+
+    def test_record_round_trips_through_compare(self, tmp_path, capsys):
+        """End-to-end: measure a real (tiny) suite, save, re-load, gate."""
+        from repro.bench.trajectory import WorkloadSpec, collect_record
+        from repro.core.atlas import TRIANGLE
+        from repro.engines.peregrine.engine import PeregrineEngine
+        from repro.graph.generators import power_law_cluster
+
+        graph = power_law_cluster(60, 3, 0.4, seed=3, name="tiny")
+        suite = [
+            WorkloadSpec(
+                "peregrine/tri", PeregrineEngine,
+                lambda: graph, lambda: [TRIANGLE],
+            )
+        ]
+        record = collect_record(trials=2, suite=suite)
+        assert record.meta["source"] == "bench-record"
+        stats = record.workloads["peregrine/tri@tiny"]
+        assert stats.trials == 2
+        assert stats.morphed.median > 0
+        path = save_record(record, root=tmp_path)
+        loaded = load_record(path)
+        comparison = compare_to_history(loaded, load_trajectory(tmp_path))
+        assert comparison.verdicts[0].verdict == "new"

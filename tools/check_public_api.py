@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Lint the ``repro`` public API surface (CI gate).
 
-Fails (exit 1) when the facade's export contract is violated:
+Fails (exit 1) when a facade's export contract is violated, for each
+linted module (the top-level ``repro`` package and the ``repro.bench``
+subsystem, whose record/compare surface other tooling scripts against):
 
-* a name in ``repro.__all__`` does not exist on the package;
+* a name in ``__all__`` does not exist on the module;
 * a public symbol (non-underscore class/function defined somewhere in
-  ``repro.*`` and re-exported at top level) is missing from ``__all__``
+  ``repro.*`` and re-exported on the module) is missing from ``__all__``
   — the "new public symbol without an ``__all__`` entry" case;
 * an exported class or function lacks a docstring.
 
@@ -17,46 +19,65 @@ from __future__ import annotations
 import sys
 
 
-def main() -> int:
-    import repro
-
+def lint_module(module) -> list[str]:
+    """Export-contract violations for one module with an ``__all__``."""
+    name = module.__name__
     failures: list[str] = []
-    exported = set(repro.__all__)
+    exported = set(module.__all__)
 
-    for name in sorted(exported):
-        if not hasattr(repro, name):
-            failures.append(f"__all__ lists {name!r} but repro has no such attribute")
+    for symbol in sorted(exported):
+        if not hasattr(module, symbol):
+            failures.append(
+                f"{name}.__all__ lists {symbol!r} but {name} has no such attribute"
+            )
 
-    dupes = len(repro.__all__) - len(exported)
+    dupes = len(module.__all__) - len(exported)
     if dupes:
-        failures.append(f"__all__ contains {dupes} duplicate entr{'y' if dupes == 1 else 'ies'}")
+        failures.append(
+            f"{name}.__all__ contains {dupes} duplicate "
+            f"entr{'y' if dupes == 1 else 'ies'}"
+        )
 
-    for name in sorted(set(vars(repro)) - exported):
-        if name.startswith("_") or name in ("annotations",):
+    for symbol in sorted(set(vars(module)) - exported):
+        if symbol.startswith("_") or symbol in ("annotations",):
             continue
-        obj = getattr(repro, name)
+        obj = getattr(module, symbol)
         if not callable(obj):
             continue  # data constants and submodules may stay unexported
         if getattr(obj, "__module__", "").startswith("repro"):
             failures.append(
-                f"public symbol repro.{name} is importable but missing from "
+                f"public symbol {name}.{symbol} is importable but missing from "
                 f"__all__ (add it, or prefix the import with an underscore)"
             )
 
-    for name in sorted(exported & set(vars(repro))):
-        obj = getattr(repro, name)
+    for symbol in sorted(exported & set(vars(module))):
+        obj = getattr(module, symbol)
         if not callable(obj):
             continue
         if not (getattr(obj, "__doc__", None) or "").strip():
-            failures.append(f"exported symbol repro.{name} has no docstring")
+            failures.append(f"exported symbol {name}.{symbol} has no docstring")
+
+    return failures
+
+
+def main() -> int:
+    import repro
+    import repro.bench
+
+    failures: list[str] = []
+    modules = (repro, repro.bench)
+    for module in modules:
+        failures.extend(lint_module(module))
 
     if failures:
         print("public API lint failed:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
+    total = sum(len(set(m.__all__)) for m in modules)
     print(
-        f"public API ok: {len(exported)} exported names, all present and documented"
+        f"public API ok: {total} exported names across "
+        f"{', '.join(m.__name__ for m in modules)}, all present and documented"
     )
     return 0
 
