@@ -22,7 +22,13 @@ Public API quick tour — one call does the whole pipeline::
 ``repro.run`` accepts an engine name (``"peregrine"``, ``"autozero"``,
 ``"graphpi"``, ``"bigjoin"``, ``"sumpa"``), keyword-only config
 (``aggregation``, ``morph``, ``workers``, ``margin``, ``cache``,
-``trace``, ``progress``) and returns a :class:`MorphRunResult`. Construct a
+``trace``, ``progress``, plus fault tolerance: ``deadline_seconds``,
+``checkpoint``, ``retry``, ``faults``) and returns a
+:class:`MorphRunResult`. Failures surface through the typed
+:class:`ReproError` hierarchy; deadline-degraded runs return
+:class:`PartialRunResult` (completed aggregates + coverage fraction),
+and ``checkpoint=`` journals finished shards so an interrupted run can
+resume (see ``docs/cookbook.md``, "Surviving failures"). Construct a
 :class:`MorphingSession` directly for streaming mode
 (:meth:`~MorphingSession.run_streaming`) or a caller-owned executor;
 :class:`Tracer` + :class:`repro.observe.RunTrace` are the telemetry
@@ -37,6 +43,15 @@ data graphs, generators and dataset stand-ins.
 """
 
 from repro.api import ENGINES, resolve_engine, run
+from repro.checkpoint import ShardCheckpoint
+from repro.errors import (
+    CheckpointError,
+    GraphValidationError,
+    ReproError,
+    RunDeadlineExceeded,
+    SharedMemoryLeakError,
+    WorkerCrashError,
+)
 from repro.core.aggregation import (
     Aggregation,
     CountAggregation,
@@ -62,6 +77,7 @@ from repro.core.selection import select_alternative_patterns
 from repro.engines.autozero.engine import AutoZeroEngine
 from repro.engines.base import EngineStats, MiningEngine
 from repro.engines.bigjoin.engine import BigJoinEngine
+from repro.engines.recovery import Deadline, RetryPolicy
 from repro.engines.graphpi.engine import GraphPiEngine
 from repro.engines.peregrine.engine import PeregrineEngine
 from repro.engines.sumpa.engine import SumPAEngine
@@ -70,8 +86,10 @@ from repro.morph.cache import MeasurementCache
 from repro.morph.session import (
     MorphingSession,
     MorphRunResult,
+    PartialRunResult,
     compare_baseline_and_morphed,
 )
+from repro.testing import FaultPlan, FaultSpec
 from repro.observe import (
     CostAuditRecord,
     MetricsRegistry,
@@ -91,18 +109,23 @@ __all__ = [
     "Aggregation",
     "AutoZeroEngine",
     "BigJoinEngine",
+    "CheckpointError",
     "CostAuditRecord",
     "CostModel",
     "CountAggregation",
     "DataGraph",
+    "Deadline",
     "EDGE_INDUCED",
     "ENGINES",
     "EngineCostProfile",
     "EngineStats",
     "EVALUATION_PATTERNS",
     "ExistenceAggregation",
+    "FaultPlan",
+    "FaultSpec",
     "GraphModel",
     "GraphPiEngine",
+    "GraphValidationError",
     "MatchListAggregation",
     "MeasurementCache",
     "MetricsRegistry",
@@ -111,15 +134,22 @@ __all__ = [
     "MorphingSession",
     "MorphRunResult",
     "NAMED_PATTERNS",
+    "PartialRunResult",
     "Pattern",
     "PeregrineEngine",
     "ProgressReporter",
     "ProgressSnapshot",
+    "ReproError",
+    "RetryPolicy",
+    "RunDeadlineExceeded",
     "RunTrace",
     "SDag",
+    "ShardCheckpoint",
+    "SharedMemoryLeakError",
     "Span",
     "SumPAEngine",
     "Tracer",
+    "WorkerCrashError",
     "VERTEX_INDUCED",
     "all_connected_patterns",
     "are_isomorphic",

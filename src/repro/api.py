@@ -81,6 +81,10 @@ def run(
     cache: MeasurementCache | None = None,
     trace: Any = None,
     progress: ProgressReporter | bool | None = None,
+    deadline_seconds: float | None = None,
+    checkpoint: Any = None,
+    retry: Any = None,
+    faults: Any = None,
 ) -> MorphRunResult:
     """Mine ``patterns`` on ``graph`` through the morphing pipeline.
 
@@ -122,13 +126,31 @@ def run(
         per-item costs and is corrected online by measured match times —
         or a :class:`repro.ProgressReporter` to report through (e.g.
         with a custom stream or a calibration prior).
+    deadline_seconds:
+        Wall-clock budget for the whole run. On expiry outstanding
+        shards are cancelled through the shared cancel token and the
+        run returns a :class:`repro.PartialRunResult` — completed-shard
+        aggregates plus a coverage fraction — instead of hanging.
+    checkpoint:
+        Path (or open :class:`repro.ShardCheckpoint`) of a JSONL journal
+        of completed shard results; an interrupted run re-invoked with
+        the same path resumes by skipping finished shards.
+    retry:
+        :class:`repro.RetryPolicy` or an int ``max_retries`` for
+        re-executing crashed shards (exponential backoff + jitter,
+        in-process fallback for a worker-poisoning shard). Default
+        policy applies whenever any fault-tolerance option is active.
+    faults:
+        A :class:`repro.FaultPlan` injecting deterministic failures
+        (crash/hang/slow/corrupt by shard index) — for tests.
 
     Returns
     -------
     MorphRunResult
         ``result.results`` maps each query pattern to its value;
         ``stats``, per-phase ``*_seconds``, ``selection`` and ``trace``
-        carry the run's telemetry.
+        carry the run's telemetry. Deadline-degraded runs return the
+        :class:`repro.PartialRunResult` subclass.
     """
     if isinstance(patterns, Pattern):
         patterns = [patterns]
@@ -157,6 +179,10 @@ def run(
         workers=workers,
         tracer=tracer,
         progress=reporter,
+        deadline_seconds=deadline_seconds,
+        checkpoint=checkpoint,
+        retry=retry,
+        faults=faults,
     )
     result = session.run(graph, list(patterns))
     if trace_path is not None:

@@ -104,6 +104,33 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_tolerance(parser: argparse.ArgumentParser) -> None:
+    """Only on subcommands that run through ``repro.run``."""
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry outstanding shards are "
+        "cancelled and completed-shard aggregates are reported with a "
+        "coverage fraction (exit code 3)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="JSONL journal of completed shard results; re-running with "
+        "the same path resumes, skipping finished shards",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-execute a crashed shard up to N times (exponential "
+        "backoff) before the in-process fallback (default 3 whenever "
+        "fault tolerance is active)",
+    )
+
+
 def _add_trace(parser: argparse.ArgumentParser) -> None:
     """Only on subcommands that run through ``repro.run``."""
     parser.add_argument(
@@ -132,6 +159,15 @@ def cmd_datasets(_args) -> int:
     return 0
 
 
+def _fault_kwargs(args) -> dict:
+    """``repro.run`` fault-tolerance kwargs from the CLI flags."""
+    return {
+        "deadline_seconds": args.deadline,
+        "checkpoint": args.checkpoint,
+        "retry": args.max_retries,
+    }
+
+
 def cmd_count(args) -> int:
     graph = resolve_graph(args)
     patterns = [resolve_pattern(p) for p in args.pattern]
@@ -143,11 +179,15 @@ def cmd_count(args) -> int:
         workers=args.workers,
         trace=args.trace,
         progress=args.progress,
+        **_fault_kwargs(args),
     )
     for p in patterns:
-        print(f"{pattern_name(p):10s} {result.results[p]}")
+        if p in result.results:
+            print(f"{pattern_name(p):10s} {result.results[p]}")
+        else:
+            print(f"{pattern_name(p):10s} <not derived before deadline>")
     _print_footer(result, trace_path=args.trace)
-    return 0
+    return _exit_code(result)
 
 
 def cmd_motifs(args) -> int:
@@ -160,11 +200,12 @@ def cmd_motifs(args) -> int:
         workers=args.workers,
         trace=args.trace,
         progress=args.progress,
+        **_fault_kwargs(args),
     )
     for p, c in sorted(result.results.items(), key=lambda kv: -kv[1]):
         print(f"{pattern_name(p):10s} {c}")
     _print_footer(result, trace_path=args.trace)
-    return 0
+    return _exit_code(result)
 
 
 def cmd_fsm(args) -> int:
@@ -277,7 +318,16 @@ def cmd_bench(args) -> int:
     return handlers[args.bench_command](args)
 
 
+def _exit_code(result) -> int:
+    """0 for a complete run, 3 for a deadline-degraded partial result."""
+    from repro.morph.session import PartialRunResult
+
+    return 3 if isinstance(result, PartialRunResult) else 0
+
+
 def _print_footer(result, trace_path=None) -> None:
+    from repro.morph.session import PartialRunResult
+
     mode = "morphed" if result.morphing_enabled else "baseline"
     extra = ""
     if result.morphing_enabled and result.selection:
@@ -288,6 +338,16 @@ def _print_footer(result, trace_path=None) -> None:
         f"{result.stats.setops.total_ops} set ops{extra}",
         file=sys.stderr,
     )
+    if isinstance(result, PartialRunResult):
+        print(
+            f"# PARTIAL: deadline expired at "
+            f"{result.completed_shards}/{result.total_shards} shards "
+            f"(coverage {result.coverage:.0%}); "
+            f"{len(result.unresolved)} quer"
+            f"{'y' if len(result.unresolved) == 1 else 'ies'} not derived "
+            "— pass --checkpoint to resume where this run stopped",
+            file=sys.stderr,
+        )
     if trace_path and result.trace is not None:
         stages = ", ".join(
             f"{name} {seconds:.2f}s"
@@ -306,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(count)
     _add_workers(count)
     _add_trace(count)
+    _add_fault_tolerance(count)
     count.add_argument(
         "--pattern", action="append", required=True, help="repeatable"
     )
@@ -314,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(motifs)
     _add_workers(motifs)
     _add_trace(motifs)
+    _add_fault_tolerance(motifs)
     motifs.add_argument("--size", type=int, default=4, choices=(3, 4, 5))
 
     fsm = sub.add_parser("fsm", help="frequent subgraph mining")

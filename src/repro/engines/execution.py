@@ -36,6 +36,9 @@ root candidate, and unstarted shards return their aggregation's zero.
 
 from __future__ import annotations
 
+import atexit
+import warnings
+import weakref
 from abc import ABC, abstractmethod
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Sequence
@@ -43,6 +46,7 @@ from typing import Any, Sequence
 from repro.core.aggregation import Aggregation
 from repro.core.pattern import Pattern
 from repro.engines.base import EngineStats, MiningEngine
+from repro.errors import SharedMemoryLeakError
 from repro.graph.datagraph import DataGraph
 from repro.graph.partition import shard_by_degree_prefix
 from repro.observe.tracer import timed_span
@@ -111,8 +115,8 @@ class ShardExecutor(ABC):
 
         Optional: transports that bind lazily inside ``map_shards``
         would otherwise hide their spin-up cost inside the first
-        pattern's match time. Errors are swallowed — ``map_shards``
-        owns the degradation path.
+        pattern's match time. Errors degrade with a warning instead of
+        raising — ``map_shards`` owns the degradation path.
         """
 
     def close(self) -> None:
@@ -163,6 +167,56 @@ class SerialShardExecutor(ShardExecutor):
 
 # -- zero-copy graph transport ------------------------------------------------
 
+#: Owner-side registry of live shared-memory segments: name -> graph name.
+#: Every exported segment registers here and leaves on dispose; the leak
+#: probe (:func:`assert_no_leaked_segments`) and the atexit sweep read it.
+_LIVE_SEGMENTS: dict[str, str] = {}
+
+
+def _cleanup_segment(name: str) -> None:
+    """Best-effort unlink of one registered segment (finalizer/atexit path)."""
+    if _LIVE_SEGMENTS.pop(name, None) is None:
+        return
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+@atexit.register
+def _cleanup_all_segments() -> None:
+    """Interpreter-exit sweep: no segment survives the owning process."""
+    for name in list(_LIVE_SEGMENTS):
+        _cleanup_segment(name)
+
+
+def live_shared_segments() -> tuple[str, ...]:
+    """Names of shared-memory segments this process currently owns."""
+    return tuple(sorted(_LIVE_SEGMENTS))
+
+
+def assert_no_leaked_segments() -> None:
+    """Fail loudly if any exported segment outlived its executor.
+
+    Raises :class:`repro.errors.SharedMemoryLeakError` naming the leaked
+    segments — and reclaims them, so one offender does not cascade into
+    every later check. The test suite runs this after every test.
+    """
+    leaked = live_shared_segments()
+    if not leaked:
+        return
+    owners = [f"{name} (graph {_LIVE_SEGMENTS.get(name, '?')!r})" for name in leaked]
+    for name in leaked:
+        _cleanup_segment(name)
+    raise SharedMemoryLeakError(
+        "shared-memory segment(s) outlived their executor: " + ", ".join(owners),
+        segments=leaked,
+    )
+
 
 class SharedGraphPayload:
     """Picklable handle that rebuilds a :class:`DataGraph` from shared memory.
@@ -198,10 +252,12 @@ class SharedGraphPayload:
         #: pid of the owner's resource-tracker daemon (see ``attach``).
         self.tracker_pid = tracker_pid
         self._shm = None  # owner-side handle; never pickled
+        self._finalizer = None  # owner-side GC safety net; never pickled
 
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_shm"] = None
+        state["_finalizer"] = None
         return state
 
     @classmethod
@@ -233,6 +289,12 @@ class SharedGraphPayload:
             tracker_pid=_resource_tracker_pid(),
         )
         payload._shm = shm
+        # Three nested safety nets guarantee the segment dies with its
+        # owner: explicit dispose() (normal path), a GC finalizer (payload
+        # dropped without dispose), and the atexit sweep (process exits
+        # with payloads still alive).
+        _LIVE_SEGMENTS[shm.name] = graph.name
+        payload._finalizer = weakref.finalize(payload, _cleanup_segment, shm.name)
         return payload
 
     def attach(self) -> DataGraph:
@@ -255,8 +317,16 @@ class SharedGraphPayload:
             pid = _resource_tracker_pid()
             if pid is not None and pid != self.tracker_pid:
                 resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
-        except Exception:
-            pass
+        except (ImportError, AttributeError, KeyError, ValueError, OSError) as exc:
+            # Tracker internals vary by Python version; failing to
+            # unregister only risks an early unlink warning at worker
+            # exit, never corruption — but it is worth knowing about.
+            warnings.warn(
+                f"could not adjust resource tracker for segment "
+                f"{self.shm_name}: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
         def view(field: str) -> np.ndarray:
             offset, shape, dtype = self.blocks[field]
@@ -281,9 +351,13 @@ class SharedGraphPayload:
         return graph
 
     def dispose(self) -> None:
-        """Owner-side cleanup: close and unlink the segment."""
+        """Owner-side cleanup: close and unlink the segment (idempotent)."""
         from multiprocessing import shared_memory
 
+        _LIVE_SEGMENTS.pop(self.shm_name, None)
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
         shm = self._shm
         if shm is None:  # disposed from a non-owner copy: open by name
             try:
@@ -297,6 +371,12 @@ class SharedGraphPayload:
         except FileNotFoundError:
             pass
 
+    def __enter__(self) -> "SharedGraphPayload":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.dispose()
+
 
 def _resource_tracker_pid() -> int | None:
     """Pid of this process's resource-tracker daemon, if one is running."""
@@ -304,7 +384,9 @@ def _resource_tracker_pid() -> int | None:
         from multiprocessing import resource_tracker
 
         return getattr(resource_tracker._resource_tracker, "_pid", None)
-    except Exception:
+    except (ImportError, AttributeError, OSError):
+        # No tracker daemon on this platform/build: a normal condition
+        # (attach() then skips the unregister dance), not a failure.
         return None
 
 
@@ -318,7 +400,13 @@ def export_graph(graph: DataGraph):
     """
     try:
         return SharedGraphPayload.export(graph)
-    except Exception:
+    except (OSError, PermissionError, ImportError, MemoryError, ValueError) as exc:
+        warnings.warn(
+            f"shared-memory export unavailable ({exc!r}); workers will "
+            "receive a pickled copy of the graph instead",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
 
 
@@ -353,7 +441,15 @@ def _probe_worker_graph() -> dict:
     }
 
 
-def _run_shard_task(pattern, aggregation, shard, collect_spans=False):
+def _run_shard_task(
+    pattern,
+    aggregation,
+    shard,
+    collect_spans=False,
+    shard_index=None,
+    attempt=0,
+    faults=None,
+):
     assert _WORKER_STATE is not None, "worker pool not initialized"
     engine, graph, cancel = _WORKER_STATE
     engine.reset_stats()
@@ -361,10 +457,23 @@ def _run_shard_task(pattern, aggregation, shard, collect_spans=False):
         if collect_spans:
             return aggregation.zero(), engine.stats, []
         return aggregation.zero(), engine.stats
+    if faults is not None and shard_index is not None:
+        # Injected faults (tests only): a crash os._exit()s right here, a
+        # hang polls the shared cancel event and, once released, reports
+        # zero exactly like a saturation-cancelled shard.
+        stop_check = cancel.is_set if cancel is not None else None
+        if faults.apply_before_shard(
+            shard_index, attempt, in_worker=True, stop_check=stop_check
+        ):
+            if collect_spans:
+                return aggregation.zero(), engine.stats, []
+            return aggregation.zero(), engine.stats
     if not collect_spans:
         value, _terminal = engine.aggregate_partial(
             graph, pattern, aggregation, root_window=shard, cancel=cancel
         )
+        if faults is not None and shard_index is not None:
+            value = faults.transform_value(shard_index, attempt, value)
         return value, engine.stats
     # Trace this shard into a private tracer and ship the spans home;
     # the parent adopts them under its per-item span (clamped into the
@@ -380,6 +489,8 @@ def _run_shard_task(pattern, aggregation, shard, collect_spans=False):
             )
     finally:
         engine.tracer = None
+    if faults is not None and shard_index is not None:
+        value = faults.transform_value(shard_index, attempt, value)
     return value, engine.stats, tracer.spans
 
 
@@ -422,8 +533,9 @@ class ProcessShardExecutor(ShardExecutor):
         pattern's match window — the undercount that made morphed
         parallel totals look better than they were. A throwaway warm-up
         task forces worker spawn and the graph's shared-memory attach
-        here instead. Failures are deliberately swallowed:
-        ``map_shards`` owns the serial-fallback path.
+        here instead. Failures degrade, not raise — ``map_shards`` owns
+        the serial-fallback path — but they are warned about, never
+        silently swallowed.
         """
         import time
 
@@ -431,8 +543,13 @@ class ProcessShardExecutor(ShardExecutor):
         try:
             self._ensure_pool(engine, graph)
             self._pool.submit(_warm_worker).result()
-        except Exception:
-            pass
+        except (OSError, BrokenProcessPool, ImportError, RuntimeError) as exc:
+            warnings.warn(
+                f"process pool warm-up failed ({exc!r}); execution will "
+                "fall back to in-process sharding",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.setup_seconds += time.perf_counter() - start
 
     def _ensure_pool(self, engine: MiningEngine, graph: DataGraph) -> None:
@@ -477,8 +594,6 @@ class ProcessShardExecutor(ShardExecutor):
         except (OSError, BrokenProcessPool, ImportError) as exc:
             # Restricted environments (no /dev/shm, no fork permission):
             # degrade to in-process sharding — identical results, no pool.
-            import warnings
-
             warnings.warn(
                 f"process pool unavailable ({exc!r}); "
                 "falling back to in-process sharded execution",
@@ -532,6 +647,7 @@ def run_sharded(
     executor: ShardExecutor,
     num_shards: int | None = None,
     tracer=None,
+    control=None,
 ):
     """One pattern, sharded: split, fan out, merge in shard order.
 
@@ -543,13 +659,36 @@ def run_sharded(
     With a ``tracer``, cross-process transports return each shard's
     worker-side spans, which are adopted (re-parented and clamped)
     under the tracer's current span; in-process transports trace live.
+
+    ``control`` (a :class:`repro.engines.recovery.RunControl`) routes
+    the shards through the fault-tolerant mapping instead: retries,
+    deadline cancellation, checkpoint skip/journal. With a deadline the
+    merge covers only completed shards (still in ascending shard order,
+    so the partial value is deterministic); the caller reads
+    ``control.reports[-1]`` to learn whether the pattern completed.
     """
     shards = shard_by_degree_prefix(
         graph, num_shards or default_shard_count(executor.workers, graph)
     )
-    parts = executor.map_shards(
-        engine, graph, pattern, aggregation, shards, tracer is not None
-    )
+    if control is not None:
+        from repro.engines.recovery import map_shards_recovering
+
+        indexed, _report = map_shards_recovering(
+            executor,
+            engine,
+            graph,
+            pattern,
+            aggregation,
+            shards,
+            tracer=tracer,
+            control=control,
+            collect_spans=tracer is not None,
+        )
+        parts = [indexed[index] for index in sorted(indexed)]
+    else:
+        parts = executor.map_shards(
+            engine, graph, pattern, aggregation, shards, tracer is not None
+        )
     value = aggregation.zero()
     for part in parts:
         part_value, part_stats = part[0], part[1]

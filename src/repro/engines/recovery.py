@@ -1,0 +1,601 @@
+"""Fault-tolerant shard mapping: retry, deadlines, checkpoint, fallback.
+
+This module wraps the transports in :mod:`repro.engines.execution` with
+the recovery policy the ISSUE calls for, without changing what a shard
+*is*: a crashed shard is re-executed (exponential backoff + jitter, up
+to :attr:`RetryPolicy.max_retries`), a shard that keeps killing pool
+workers is recovered **in-process** before the run gives up with
+:class:`repro.errors.WorkerCrashError`, an expired
+:class:`Deadline` cancels outstanding shards through the pool's shared
+event and reports the pattern as interrupted (the session turns that
+into a :class:`repro.PartialRunResult`), and completed shards are
+journaled to a :class:`repro.checkpoint.ShardCheckpoint` so a resumed
+run skips them (visible as ``shard.checkpoint`` tracer spans).
+
+Everything stays deterministic: results are merged in ascending shard
+index exactly like the non-recovering path, a shard's value is the same
+no matter how many retries it took to produce, and backoff jitter is
+seeded per ``(shard, attempt)``. The differential matrix in
+``tests/test_fault_tolerance.py`` pins retried/resumed/degraded runs to
+the serial oracle byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import warnings
+from concurrent.futures.process import BrokenProcessPool as BrokenProcessPoolError
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.aggregation import Aggregation
+from repro.core.canonical import pattern_id
+from repro.core.pattern import Pattern
+from repro.engines.base import EngineStats, MiningEngine
+from repro.errors import WorkerCrashError
+from repro.graph.datagraph import DataGraph
+from repro.observe.tracer import timed_span
+from repro.testing.faults import FaultPlan, InjectedWorkerCrash
+
+__all__ = [
+    "Deadline",
+    "PatternReport",
+    "RetryPolicy",
+    "RunControl",
+    "checkpoint_key",
+    "map_shards_recovering",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How crashed shards are re-executed before the run gives up.
+
+    ``max_retries`` bounds re-executions per shard (0 disables retry);
+    after the budget is spent a pool-backed run tries the shard once
+    more **in-process** (a worker-poisoning input shouldn't kill the
+    run if the parent can still compute it), then raises
+    :class:`repro.errors.WorkerCrashError`. Backoff between attempts is
+    ``backoff_seconds * backoff_factor**(attempt-1)`` stretched by up to
+    ``jitter`` fraction of itself; the jitter RNG is seeded per
+    ``(seed, shard, attempt)`` so runs are reproducible. ``sleep`` is
+    injectable so tests retry instantly.
+    """
+
+    max_retries: int = 3
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+
+    def delay(self, shard_index: int, attempt: int) -> float:
+        """Backoff before re-running ``shard_index``'s ``attempt``-th retry."""
+        base = self.backoff_seconds * self.backoff_factor ** max(0, attempt - 1)
+        rng = random.Random(f"{self.seed}:{shard_index}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+    @classmethod
+    def resolve(cls, spec: "RetryPolicy | int | None") -> "RetryPolicy":
+        """Normalize a policy spec: ``None`` → defaults, int → max_retries."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, int) and not isinstance(spec, bool):
+            return cls(max_retries=spec)
+        raise TypeError(
+            f"retry must be a RetryPolicy or an int (max_retries), got {spec!r}"
+        )
+
+
+class Deadline:
+    """A wall-clock budget for a run, started at construction.
+
+    The clock is injectable (tests drive a fake monotonic clock), and
+    ``remaining()`` feeds directly into ``concurrent.futures.wait``
+    timeouts so a pool-backed run stops *waiting* the moment the budget
+    expires even if a worker is wedged.
+    """
+
+    __slots__ = ("seconds", "clock", "_expires_at")
+
+    def __init__(self, seconds: float, clock: Callable[[], float] = time.monotonic):
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds!r}")
+        self.seconds = float(seconds)
+        self.clock = clock
+        self._expires_at = clock() + self.seconds
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once past it)."""
+        return self._expires_at - self.clock()
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self.remaining() <= 0.0
+
+    @classmethod
+    def resolve(
+        cls,
+        spec: "Deadline | float | int | None",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline | None":
+        """Normalize a deadline spec: ``None`` passes through, numbers start now."""
+        if spec is None or isinstance(spec, cls):
+            return spec
+        return cls(float(spec), clock)
+
+
+@dataclass
+class PatternReport:
+    """Per-pattern recovery bookkeeping (one per ``map_shards_recovering``)."""
+
+    label: str = ""
+    total_shards: int = 0
+    completed_shards: int = 0
+    checkpointed_shards: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    interrupted: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """Every shard of this pattern produced a (possibly cached) result."""
+        return not self.interrupted and self.completed_shards >= self.total_shards
+
+
+class RunControl:
+    """The recovery configuration + bookkeeping threaded through a run.
+
+    One instance lives for one ``session.run`` / ``repro.run`` call and
+    is consulted by :func:`map_shards_recovering` for every pattern.
+    ``reports`` accumulates one :class:`PatternReport` per executed
+    pattern; the coverage fraction of a deadline-degraded run is
+    ``completed_shards / total_shards`` over those reports plus one
+    pattern's worth of shards for each item the run never started.
+    """
+
+    def __init__(
+        self,
+        *,
+        retry: RetryPolicy | int | None = None,
+        deadline: "Deadline | float | None" = None,
+        checkpoint: Any | None = None,
+        faults: FaultPlan | None = None,
+        progress: Any | None = None,
+    ) -> None:
+        self.retry = RetryPolicy.resolve(retry)
+        self.deadline = Deadline.resolve(deadline)
+        self.checkpoint = checkpoint
+        self.faults = faults if faults else None
+        self.progress = progress
+        self.reports: list[PatternReport] = []
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether any pattern was cut short by the deadline."""
+        return any(r.interrupted for r in self.reports)
+
+    def expired(self) -> bool:
+        """Whether the run's deadline (if any) has passed."""
+        return self.deadline is not None and self.deadline.expired()
+
+    @property
+    def completed_shards(self) -> int:
+        return sum(r.completed_shards for r in self.reports)
+
+    @property
+    def total_shards(self) -> int:
+        return sum(r.total_shards for r in self.reports)
+
+    def charged_total(self, unstarted_items: int = 0) -> int:
+        """Shard denominator for coverage: executed patterns' shards plus
+        one pattern's worth (the last report's count — shard splits are
+        identical across a run's patterns) for each item the deadline
+        preempted entirely."""
+        per_pattern = self.reports[-1].total_shards if self.reports else 1
+        return self.total_shards + per_pattern * max(0, unstarted_items)
+
+    def coverage(self, unstarted_items: int = 0) -> float:
+        """Fraction of the run's shards that completed."""
+        total = self.charged_total(unstarted_items)
+        if total <= 0:
+            return 1.0
+        return self.completed_shards / total
+
+    def event(self, kind: str, detail: str) -> None:
+        """Forward a recovery event to the progress reporter, if any."""
+        if self.progress is not None:
+            emit = getattr(self.progress, "event", None)
+            if emit is not None:
+                emit(kind, detail)
+
+
+def checkpoint_key(pattern: Pattern, aggregation: Aggregation) -> str:
+    """Stable journal key for one (pattern, aggregation) pair.
+
+    Built on :func:`repro.core.canonical.pattern_id` (isomorphism-class
+    stable, anti-edge aware) so a resumed run matches records no matter
+    how the pattern object was constructed.
+    """
+    agg = getattr(aggregation, "name", type(aggregation).__name__)
+    return f"{pattern_id(pattern):016x}/{agg}"
+
+
+def _run_shard_inprocess(
+    engine: MiningEngine,
+    graph: DataGraph,
+    pattern: Pattern,
+    aggregation: Aggregation,
+    shard: tuple[int, int],
+) -> tuple[Any, EngineStats]:
+    """One shard through the live engine, stats isolated like a worker's."""
+    saved = engine.stats
+    engine.stats = EngineStats()
+    try:
+        value, _terminal = engine.aggregate_partial(
+            graph, pattern, aggregation, root_window=shard, cancel=None
+        )
+        return value, engine.stats
+    finally:
+        engine.stats = saved
+
+
+def map_shards_recovering(
+    executor,
+    engine: MiningEngine,
+    graph: DataGraph,
+    pattern: Pattern,
+    aggregation: Aggregation,
+    shards,
+    *,
+    tracer=None,
+    control: RunControl,
+    collect_spans: bool = False,
+) -> tuple[dict[int, tuple], PatternReport]:
+    """Run one pattern's shards under the recovery policy.
+
+    Returns ``(results, report)`` where ``results`` maps shard index →
+    shard result for every shard that completed (checkpoint hits
+    included) and ``report`` records retries/fallbacks/interruption.
+    Completed shards are journaled to the control's checkpoint even
+    when the pattern is interrupted or a poisoned shard ultimately
+    raises — that is what makes resume work.
+    """
+    from repro.engines.execution import ProcessShardExecutor
+
+    report = PatternReport(total_shards=len(shards))
+    control.reports.append(report)
+    key = checkpoint_key(pattern, aggregation)
+    results: dict[int, tuple] = {}
+    pending: list[int] = []
+    for index, shard in enumerate(shards):
+        hit = (
+            control.checkpoint.get(key, shard)
+            if control.checkpoint is not None
+            else None
+        )
+        if hit is not None:
+            with timed_span(
+                tracer, "shard.checkpoint", shard=index, window=list(shard)
+            ):
+                pass
+            results[index] = hit
+            report.completed_shards += 1
+            report.checkpointed_shards += 1
+        else:
+            pending.append(index)
+    try:
+        if pending:
+            use_pool = (
+                isinstance(executor, ProcessShardExecutor)
+                and executor._fallback is None
+            )
+            recover = _recover_pool if use_pool else _recover_serial
+            recover(
+                executor,
+                engine,
+                graph,
+                pattern,
+                aggregation,
+                shards,
+                pending,
+                results,
+                report,
+                tracer=tracer,
+                control=control,
+                collect_spans=collect_spans,
+            )
+    finally:
+        # Journal every completed shard — including on interruption or a
+        # terminal WorkerCrashError — so the next run resumes from here.
+        if control.checkpoint is not None:
+            for index in sorted(results):
+                part = results[index]
+                control.checkpoint.put(key, shards[index], index, part[0], part[1])
+    return results, report
+
+
+def _recover_serial(
+    executor,
+    engine,
+    graph,
+    pattern,
+    aggregation,
+    shards,
+    pending,
+    results,
+    report,
+    *,
+    tracer,
+    control,
+    collect_spans,
+):
+    """In-process transports: shard-at-a-time with a per-shard retry loop."""
+    retry = control.retry
+    deadline = control.deadline
+    faults = control.faults
+    stop_check = (lambda: deadline.expired()) if deadline is not None else None
+    for index in pending:
+        if deadline is not None and deadline.expired():
+            report.interrupted = True
+            return
+        shard = shards[index]
+        attempt = 0
+        while True:
+            try:
+                if faults is not None and faults.apply_before_shard(
+                    index, attempt, in_worker=False, stop_check=stop_check
+                ):
+                    # A hang released by the deadline: no result for this
+                    # shard, and no point starting the ones after it.
+                    report.interrupted = True
+                    return
+                part = list(
+                    executor.map_shards(
+                        engine, graph, pattern, aggregation, [shard], collect_spans
+                    )[0]
+                )
+                if faults is not None:
+                    part[0] = faults.transform_value(index, attempt, part[0])
+                results[index] = tuple(part)
+                report.completed_shards += 1
+                break
+            except (InjectedWorkerCrash, BrokenProcessPoolError) as exc:
+                attempt += 1
+                report.retries += 1
+                if attempt > retry.max_retries:
+                    raise WorkerCrashError(
+                        f"shard {index} {tuple(shard)} of pattern "
+                        f"{pattern_id(pattern):016x} still failing after "
+                        f"{attempt} attempts",
+                        shard=tuple(shard),
+                        shard_index=index,
+                        attempts=attempt,
+                        cause=exc,
+                    ) from exc
+                seconds = retry.delay(index, attempt)
+                with timed_span(
+                    tracer,
+                    "shard.retry",
+                    shard=index,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                    backoff_seconds=seconds,
+                ):
+                    retry.sleep(seconds)
+                control.event(
+                    "retry",
+                    f"shard {index} attempt {attempt} after {type(exc).__name__}",
+                )
+
+
+def _recover_pool(
+    executor,
+    engine,
+    graph,
+    pattern,
+    aggregation,
+    shards,
+    pending,
+    results,
+    report,
+    *,
+    tracer,
+    control,
+    collect_spans,
+):
+    """Pool transport: submit, harvest survivors of a crash, rebuild, retry.
+
+    ``BrokenProcessPool`` semantics drive the shape: one worker dying
+    abruptly breaks the *whole* pool — futures that already finished
+    keep their results, everything else raises. So each round submits
+    all outstanding shards, harvests completed ones, charges an attempt
+    to the casualties (including innocent shards collateral to the same
+    collapse — their retry budget is sized for that), rebuilds the pool
+    and goes again. Shards that exhaust the budget are recovered
+    in-process before :class:`WorkerCrashError` ends the run.
+    """
+    from concurrent.futures import wait as wait_futures
+
+    from repro.engines.execution import (
+        SerialShardExecutor,
+        _run_shard_task,
+    )
+
+    retry = control.retry
+    deadline = control.deadline
+    faults = control.faults
+    attempts = {i: 0 for i in pending}
+    remaining = sorted(pending)
+    first_round = True
+    while remaining:
+        if deadline is not None and deadline.expired():
+            if executor._event is not None:
+                executor._event.set()  # release polite hangs / polling kernels
+            report.interrupted = True
+            return
+        # Shards past the pool retry budget leave the pool entirely.
+        for index in [i for i in remaining if attempts[i] > retry.max_retries]:
+            remaining.remove(index)
+            if not _fallback_shard(
+                engine,
+                graph,
+                pattern,
+                aggregation,
+                shards,
+                index,
+                attempts,
+                results,
+                report,
+                tracer=tracer,
+                control=control,
+            ):
+                return
+        if not remaining:
+            return
+        try:
+            executor._ensure_pool(engine, graph)
+            if first_round:
+                executor._event.clear()
+                first_round = False
+            futures = {
+                executor._pool.submit(
+                    _run_shard_task,
+                    pattern,
+                    aggregation,
+                    shards[i],
+                    collect_spans,
+                    i,
+                    attempts[i],
+                    faults,
+                ): i
+                for i in remaining
+            }
+        except (OSError, BrokenProcessPoolError, ImportError) as exc:
+            # The pool cannot be (re)built at all: degrade this and every
+            # later pattern to in-process sharded execution.
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                "recovering in-process with sharded execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            executor.close()
+            executor._fallback = SerialShardExecutor(executor.workers)
+            _recover_serial(
+                executor._fallback,
+                engine,
+                graph,
+                pattern,
+                aggregation,
+                shards,
+                remaining,
+                results,
+                report,
+                tracer=tracer,
+                control=control,
+                collect_spans=collect_spans,
+            )
+            return
+        timeout = max(0.0, deadline.remaining()) if deadline is not None else None
+        done, not_done = wait_futures(set(futures), timeout=timeout)
+        crashed: list[int] = []
+        for future in done:
+            index = futures[future]
+            exc = future.exception()
+            if exc is None:
+                results[index] = tuple(future.result())
+                report.completed_shards += 1
+                remaining.remove(index)
+            elif isinstance(exc, BrokenProcessPoolError):
+                crashed.append(index)
+            else:
+                raise exc  # a genuine kernel error: not recoverable noise
+        if not_done:
+            # Deadline expired mid-flight. Completed futures were already
+            # harvested above; cancel the queue, release wedged workers.
+            for future in not_done:
+                future.cancel()
+            if executor._event is not None:
+                executor._event.set()
+            report.interrupted = True
+            return
+        if remaining:
+            # Everything still outstanding was a casualty of the same pool
+            # collapse; one backoff for the round, one attempt charged each.
+            executor.close()  # tear the broken pool down; next round rebuilds
+            seconds = 0.0
+            for index in remaining:
+                attempts[index] += 1
+                report.retries += 1
+                seconds = max(seconds, retry.delay(index, attempts[index]))
+                control.event(
+                    "retry",
+                    f"shard {index} attempt {attempts[index]} after worker crash",
+                )
+            with timed_span(
+                tracer,
+                "shard.retry",
+                shards=list(remaining),
+                backoff_seconds=seconds,
+            ):
+                retry.sleep(seconds)
+
+
+def _fallback_shard(
+    engine,
+    graph,
+    pattern,
+    aggregation,
+    shards,
+    index,
+    attempts,
+    results,
+    report,
+    *,
+    tracer,
+    control,
+) -> bool:
+    """Last resort for a worker-poisoning shard: run it in the parent.
+
+    Returns ``False`` when an injected hang was released by the
+    deadline (the caller stops the pattern); raises
+    :class:`WorkerCrashError` when even the in-process attempt crashes.
+    """
+    shard = shards[index]
+    faults = control.faults
+    deadline = control.deadline
+    stop_check = (lambda: deadline.expired()) if deadline is not None else None
+    with timed_span(tracer, "shard.fallback", shard=index, window=list(shard)):
+        try:
+            if faults is not None and faults.apply_before_shard(
+                index, attempts[index], in_worker=False, stop_check=stop_check
+            ):
+                report.interrupted = True
+                return False
+            value, stats = _run_shard_inprocess(
+                engine, graph, pattern, aggregation, shard
+            )
+            if faults is not None:
+                value = faults.transform_value(index, attempts[index], value)
+        except InjectedWorkerCrash as exc:
+            raise WorkerCrashError(
+                f"shard {index} {tuple(shard)} crashed in {attempts[index]} "
+                "worker attempts and again in the in-process fallback",
+                shard=tuple(shard),
+                shard_index=index,
+                attempts=attempts[index] + 1,
+                cause=exc,
+            ) from exc
+    results[index] = (value, stats)
+    report.completed_shards += 1
+    report.fallbacks += 1
+    control.event(
+        "fallback",
+        f"shard {index} recovered in-process after "
+        f"{attempts[index]} pool attempts",
+    )
+    return True

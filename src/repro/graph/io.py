@@ -3,6 +3,12 @@
 Supports the plain whitespace edge-list format used by SNAP/Peregrine
 (`u v` per line, `#` comments) plus an optional label file (`v label` per
 line). Vertex ids are compacted to a dense range on load.
+
+All loaders validate their input *up front* — malformed lines,
+non-integer tokens, negative ids, ragged rows and ids that overflow the
+CSR's int32 index space raise :class:`repro.GraphValidationError`
+(a ``ValueError`` subclass) with file/line context, instead of failing
+deep inside the CSR build with a context-free numpy error.
 """
 
 from __future__ import annotations
@@ -12,7 +18,12 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.errors import GraphValidationError
 from repro.graph.datagraph import DataGraph
+
+#: The shard/kernel layer indexes vertices with int32; any id beyond
+#: this cannot round-trip through the CSR without silent truncation.
+_MAX_VERTEX_ID = np.iinfo(np.int32).max
 
 
 def load_edge_list(
@@ -29,15 +40,39 @@ def load_edge_list(
     endpoints: list[int] = []
 
     with open(path) as f:
-        for line in f:
+        for lineno, line in enumerate(f, start=1):
             line = line.strip()
             if not line or line.startswith(("#", "%")):
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise ValueError(f"malformed edge line: {line!r}")
-            endpoints.append(int(parts[0]))
-            endpoints.append(int(parts[1]))
+                raise GraphValidationError(
+                    f"malformed edge line: {line!r} (expected 'u v')",
+                    path=path,
+                    line=lineno,
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphValidationError(
+                    f"non-integer endpoint in edge line: {line!r}",
+                    path=path,
+                    line=lineno,
+                ) from None
+            if u < 0 or v < 0:
+                raise GraphValidationError(
+                    f"negative vertex id in edge line: {line!r}",
+                    path=path,
+                    line=lineno,
+                )
+            if u > _MAX_VERTEX_ID or v > _MAX_VERTEX_ID:
+                raise GraphValidationError(
+                    f"vertex id overflows int32 index space in edge line: {line!r}",
+                    path=path,
+                    line=lineno,
+                )
+            endpoints.append(u)
+            endpoints.append(v)
 
     flat = np.array(endpoints, dtype=np.int64)
     # Compact ids in numeric order, so already-dense files load unchanged:
@@ -51,14 +86,27 @@ def load_edge_list(
         ids = {int(raw): i for i, raw in enumerate(raw_ids)}
         labels = np.zeros(num_vertices, dtype=np.int64)
         with open(label_path) as f:
-            for line in f:
+            for lineno, line in enumerate(f, start=1):
                 line = line.strip()
                 if not line or line.startswith(("#", "%")):
                     continue
-                v_str, lab_str = line.split()[:2]
-                v = int(v_str)
+                parts = line.split()
+                if len(parts) < 2:
+                    raise GraphValidationError(
+                        f"malformed label line: {line!r} (expected 'v label')",
+                        path=label_path,
+                        line=lineno,
+                    )
+                try:
+                    v, lab = int(parts[0]), int(parts[1])
+                except ValueError:
+                    raise GraphValidationError(
+                        f"non-integer token in label line: {line!r}",
+                        path=label_path,
+                        line=lineno,
+                    ) from None
                 if v in ids:
-                    labels[ids[v]] = int(lab_str)
+                    labels[ids[v]] = lab
 
     graph_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
     return DataGraph(num_vertices, edges, labels=labels, name=graph_name)
@@ -85,7 +133,14 @@ def save_edge_list(
 def from_edges(edges: Iterable[tuple[int, int]], name: str = "graph") -> DataGraph:
     """Build a graph from edges, inferring the vertex count."""
     edge_list = list(edges)
+    lo = min((min(u, v) for u, v in edge_list), default=0)
+    if lo < 0:
+        raise GraphValidationError(f"negative vertex id in edges: {lo}")
     n = 1 + max((max(u, v) for u, v in edge_list), default=0)
+    if n - 1 > _MAX_VERTEX_ID:
+        raise GraphValidationError(
+            f"vertex id {n - 1} overflows int32 index space"
+        )
     return DataGraph(n, edge_list, name=name)
 
 
@@ -99,32 +154,59 @@ def load_metis(path: str | os.PathLike, name: str | None = None) -> DataGraph:
     """
     with open(path) as f:
         lines = [
-            line.strip()
-            for line in f
+            (lineno, line.strip())
+            for lineno, line in enumerate(f, start=1)
             if line.strip() and not line.lstrip().startswith("%")
         ]
     if not lines:
-        raise ValueError("empty METIS file")
-    header = lines[0].split()
-    num_vertices = int(header[0])
+        raise GraphValidationError("empty METIS file", path=path)
+    header_lineno, header_text = lines[0]
+    header = header_text.split()
+    try:
+        num_vertices = int(header[0])
+    except ValueError:
+        raise GraphValidationError(
+            f"non-integer METIS header: {header_text!r}",
+            path=path,
+            line=header_lineno,
+        ) from None
     fmt = header[2] if len(header) > 2 else "0"
     has_vertex_weights = len(fmt) >= 2 and fmt[-2] == "1"
     has_edge_weights = fmt[-1] == "1"
     if len(lines) - 1 != num_vertices:
-        raise ValueError(
+        raise GraphValidationError(
             f"METIS header promises {num_vertices} vertex lines, "
-            f"found {len(lines) - 1}"
+            f"found {len(lines) - 1}",
+            path=path,
+            line=header_lineno,
         )
     edges: list[tuple[int, int]] = []
-    for v, line in enumerate(lines[1:]):
-        tokens = [int(t) for t in line.split()]
+    for v, (lineno, line) in enumerate(lines[1:]):
+        try:
+            tokens = [int(t) for t in line.split()]
+        except ValueError:
+            raise GraphValidationError(
+                f"non-integer token in METIS vertex line: {line!r}",
+                path=path,
+                line=lineno,
+            ) from None
         if has_vertex_weights and tokens:
             tokens = tokens[1:]
         step = 2 if has_edge_weights else 1
+        if has_edge_weights and len(tokens) % 2:
+            raise GraphValidationError(
+                f"ragged METIS vertex line (odd neighbor/weight count): {line!r}",
+                path=path,
+                line=lineno,
+            )
         for i in range(0, len(tokens), step):
             u = tokens[i] - 1  # METIS is 1-indexed
             if not (0 <= u < num_vertices):
-                raise ValueError(f"neighbor {u + 1} out of range on line {v + 2}")
+                raise GraphValidationError(
+                    f"neighbor {u + 1} out of range",
+                    path=path,
+                    line=lineno,
+                )
             if u != v:
                 edges.append((v, u))
     graph_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
@@ -145,14 +227,47 @@ def load_json_graph(path: str | os.PathLike, name: str | None = None) -> DataGra
 
     with open(path) as f:
         data = json.load(f)
+    try:
+        num_vertices = int(data["num_vertices"])
+    except (KeyError, TypeError, ValueError):
+        raise GraphValidationError(
+            "missing or non-integer 'num_vertices'", path=path
+        ) from None
+    if num_vertices < 0:
+        raise GraphValidationError(
+            f"negative 'num_vertices': {num_vertices}", path=path
+        )
+    if num_vertices - 1 > _MAX_VERTEX_ID:
+        raise GraphValidationError(
+            f"'num_vertices' {num_vertices} overflows int32 index space",
+            path=path,
+        )
+    edges: list[tuple[int, int]] = []
+    for e in data.get("edges", ()):
+        if len(e) != 2:
+            raise GraphValidationError(
+                f"ragged edge entry (expected a pair): {e!r}", path=path
+            )
+        try:
+            u, v = int(e[0]), int(e[1])
+        except (TypeError, ValueError):
+            raise GraphValidationError(
+                f"non-integer edge endpoint: {e!r}", path=path
+            ) from None
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise GraphValidationError(
+                f"edge endpoint out of range [0, {num_vertices}): {e!r}",
+                path=path,
+            )
+        edges.append((u, v))
     labels = data.get("labels")
+    if labels is not None and len(labels) != num_vertices:
+        raise GraphValidationError(
+            f"label array length {len(labels)} != num_vertices {num_vertices}",
+            path=path,
+        )
     graph_name = name or data.get("name") or "graph"
-    return DataGraph(
-        int(data["num_vertices"]),
-        [tuple(e) for e in data["edges"]],
-        labels=labels,
-        name=graph_name,
-    )
+    return DataGraph(num_vertices, edges, labels=labels, name=graph_name)
 
 
 def save_json_graph(graph: DataGraph, path: str | os.PathLike) -> None:

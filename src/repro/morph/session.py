@@ -53,10 +53,11 @@ from repro.core.conversion import (
     on_the_fly_plan,
 )
 from repro.core.costmodel import CostModel
-from repro.core.equations import Item, item_of, materialize
+from repro.core.equations import Item, UnderivableError, item_of, materialize
 from repro.core.pattern import Pattern
 from repro.core.selection import SelectionResult, select_alternative_patterns
 from repro.engines.base import EngineStats, MiningEngine
+from repro.errors import RunDeadlineExceeded
 from repro.graph.datagraph import DataGraph
 from repro.morph.profiles import profile_for
 from repro.observe.audit import CostAuditRecord
@@ -108,6 +109,36 @@ class MorphRunResult:
         )
 
 
+@dataclass
+class PartialRunResult(MorphRunResult):
+    """A deadline-degraded run: aggregates over completed shards only.
+
+    Returned (instead of raising) when a run's ``deadline_seconds``
+    expires before every shard completed. ``results`` holds the queries
+    that were still derivable from fully-completed items; queries the
+    completed set cannot determine are listed in ``unresolved`` (absent
+    from ``results`` — a partial value is never passed off as an
+    answer). Items interrupted mid-pattern expose their merged
+    completed-shard aggregate in ``partial_items``, clearly labeled as
+    partial. ``coverage`` is ``completed_shards / total_shards``, where
+    interrupted and never-started items are charged their full shard
+    count.
+    """
+
+    coverage: float = 1.0
+    completed_shards: int = 0
+    total_shards: int = 0
+    #: queries whose values the completed items cannot determine.
+    unresolved: tuple[Pattern, ...] = ()
+    #: item -> merged aggregate over that item's *completed* shards.
+    partial_items: dict[Item, Any] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """False by construction — this run was cut short."""
+        return not self.unresolved and self.coverage >= 1.0
+
+
 class MorphingSession:
     """Subgraph Morphing around an unmodified matching engine."""
 
@@ -123,6 +154,10 @@ class MorphingSession:
         executor=None,
         tracer: Tracer | None = None,
         progress: ProgressReporter | None = None,
+        deadline_seconds: float | None = None,
+        checkpoint=None,
+        retry=None,
+        faults=None,
     ) -> None:
         """Configuration is keyword-only (positional config is a
         deprecated shim, see :mod:`repro._compat`).
@@ -153,7 +188,19 @@ class MorphingSession:
         ``match.item`` durations. Like tracing, attaching progress
         trades the count path's engine-native multi-pattern batching for
         per-item measurement (identical results), and ``progress=None``
-        (the default) costs one ``is None`` test per item."""
+        (the default) costs one ``is None`` test per item.
+
+        **Fault tolerance** (any of the four below activates it; matching
+        then always routes through the sharded path, in-process when
+        ``workers <= 1``): ``deadline_seconds`` bounds the run's wall
+        time — on expiry outstanding shards are cancelled and batched
+        runs return a :class:`PartialRunResult` (streaming runs raise
+        :class:`repro.errors.RunDeadlineExceeded`). ``checkpoint`` is a
+        :class:`repro.ShardCheckpoint` or a path to one: completed
+        shards are journaled as they finish and a resumed run skips
+        them. ``retry`` is a :class:`repro.RetryPolicy` (or an int
+        ``max_retries``) governing re-execution of crashed shards.
+        ``faults`` injects a :class:`repro.FaultPlan` (tests only)."""
         if args:
             from repro import _compat
 
@@ -177,22 +224,77 @@ class MorphingSession:
         self.executor = executor
         self.tracer = tracer
         self.progress = progress
+        self.deadline_seconds = deadline_seconds
+        self.checkpoint = checkpoint
+        self.retry = retry
+        self.faults = faults
+        #: The active run's RunControl (set by ``_run_scoped`` for the
+        #: duration of one run; the sharded helpers read it).
+        self._control = None
 
     # -- shard-parallel plumbing -------------------------------------------
 
-    def _make_executor(self):
+    def _make_executor(self, force: bool = False):
         """Resolve the run's executor: ``(executor, owned)`` or ``(None, _)``.
 
         One executor (and so one warm worker pool) serves every pattern
         of a run; a caller-supplied ``ShardExecutor`` instance outlives
-        the run (``owned=False``).
+        the run (``owned=False``). ``force`` (fault-tolerant runs)
+        resolves an in-process executor even when ``workers <= 1`` so
+        retries/deadlines/checkpoints apply on the sharded path.
         """
         if self.workers <= 1 and self.executor is None:
-            return None, False
+            if not force:
+                return None, False
+            from repro.engines.execution import SerialShardExecutor
+
+            return SerialShardExecutor(1), True
         from repro.engines.execution import ShardExecutor, make_executor
 
         owned = not isinstance(self.executor, ShardExecutor)
         return make_executor(self.workers, self.executor), owned
+
+    def _make_control(self, graph):
+        """Build one run's RunControl: ``(control, owns_checkpoint)``.
+
+        ``None`` when no fault-tolerance option is set — the run then
+        takes the exact pre-existing code paths. A ``checkpoint`` given
+        as a path is opened here (the graph's identity goes into the
+        journal's meta line) and closed by ``_run_scoped``.
+        """
+        if (
+            self.deadline_seconds is None
+            and self.checkpoint is None
+            and self.retry is None
+            and self.faults is None
+        ):
+            return None, False
+        from repro.engines.recovery import RunControl
+
+        checkpoint = self.checkpoint
+        owns_checkpoint = False
+        if checkpoint is not None and not hasattr(checkpoint, "get"):
+            from repro.checkpoint import ShardCheckpoint
+
+            checkpoint = ShardCheckpoint(
+                checkpoint,
+                meta={
+                    "graph": graph.name,
+                    "num_vertices": graph.num_vertices,
+                    "num_edges": graph.num_edges,
+                    "engine": self.engine.name,
+                    "aggregation": self.aggregation.name,
+                },
+            )
+            owns_checkpoint = True
+        control = RunControl(
+            retry=self.retry,
+            deadline=self.deadline_seconds,
+            checkpoint=checkpoint,
+            faults=self.faults,
+            progress=self.progress,
+        )
+        return control, owns_checkpoint
 
     def _count_set(self, graph, patterns, exec_):
         """Counts for a pattern set, sharded when an executor is active.
@@ -207,7 +309,13 @@ class MorphingSession:
 
         return {
             p: run_sharded(
-                self.engine, graph, p, CountAggregation(), exec_, tracer=self.tracer
+                self.engine,
+                graph,
+                p,
+                CountAggregation(),
+                exec_,
+                tracer=self.tracer,
+                control=self._control,
             )
             for p in patterns
         }
@@ -218,7 +326,13 @@ class MorphingSession:
         from repro.engines.execution import run_sharded
 
         return run_sharded(
-            self.engine, graph, pattern, self.aggregation, exec_, tracer=self.tracer
+            self.engine,
+            graph,
+            pattern,
+            self.aggregation,
+            exec_,
+            tracer=self.tracer,
+            control=self._control,
         )
 
     def _explore(self, graph, pattern, callback, exec_) -> None:
@@ -242,6 +356,7 @@ class MorphingSession:
             MatchListAggregation(),
             exec_,
             tracer=self.tracer,
+            control=self._control,
         )
         for match in matches:
             callback(pattern, match)
@@ -258,7 +373,10 @@ class MorphingSession:
         """
         self.engine.reset_stats()
         tracer = self.tracer
-        parallel = self.workers > 1 or self.executor is not None
+        control, owns_checkpoint = self._make_control(graph)
+        parallel = (
+            self.workers > 1 or self.executor is not None or control is not None
+        )
         setup_seconds = teardown_seconds = 0.0
         with timed_span(
             tracer,
@@ -272,19 +390,25 @@ class MorphingSession:
             previous_tracer = self.engine.tracer
             self.engine.tracer = tracer
             exec_, owned = None, False
+            self._control = control
             try:
                 if parallel:
                     with timed_span(tracer, "executor.setup") as setup_span:
-                        exec_, owned = self._make_executor()
+                        exec_, owned = self._make_executor(
+                            force=control is not None
+                        )
                         if exec_ is not None and owned:
                             exec_.prepare(self.engine, graph)
                     setup_seconds = setup_span.seconds
                 result = body(exec_)
             finally:
+                self._control = None
                 if exec_ is not None and owned:
                     with timed_span(tracer, "executor.teardown") as teardown_span:
                         exec_.close()
                     teardown_seconds = teardown_span.seconds
+                if owns_checkpoint and control.checkpoint is not None:
+                    control.checkpoint.close()
                 self.engine.tracer = previous_tracer
         result.executor_seconds = setup_seconds + teardown_seconds
         if tracer is not None:
@@ -393,6 +517,23 @@ class MorphingSession:
             baseline = self._run_baseline(
                 graph, patterns, exec_, selection=selection, cost_model=cost_model
             )
+            if isinstance(baseline, PartialRunResult):
+                # The deadline interrupted the passthrough run: keep its
+                # coverage bookkeeping, not just its results.
+                return PartialRunResult(
+                    results=baseline.results,
+                    stats=baseline.stats,
+                    morphing_enabled=True,
+                    measured=selection.measured,
+                    selection=selection,
+                    transform_seconds=transform_seconds,
+                    match_seconds=baseline.match_seconds,
+                    coverage=baseline.coverage,
+                    completed_shards=baseline.completed_shards,
+                    total_shards=baseline.total_shards,
+                    unresolved=baseline.unresolved,
+                    partial_items=baseline.partial_items,
+                )
             return MorphRunResult(
                 results=baseline.results,
                 stats=baseline.stats,
@@ -422,11 +563,21 @@ class MorphingSession:
                 measured_items = [i for i in measured_items if i not in cached_items]
 
             progress = self.progress
-            if count_mode and tracer is None and progress is None:
+            control = self._control
+            unstarted_items: list[Item] = []
+            incomplete_items: set[Item] = set()
+            if (
+                count_mode
+                and tracer is None
+                and progress is None
+                and control is None
+            ):
                 # Engine-native multi-pattern execution (AutoZero's merged
                 # schedules, SumPA's abstraction). The traced path trades
                 # it for per-item measurement — identical counts, and the
-                # audit gets a real per-alternative match time.
+                # audit gets a real per-alternative match time. The
+                # fault-tolerant path also trades it away: completion is
+                # tracked per item.
                 concrete = {item: materialize(item) for item in measured_items}
                 counts = self._count_set(graph, list(concrete.values()), exec_)
                 for item, pattern in concrete.items():
@@ -445,6 +596,9 @@ class MorphingSession:
                         ]
                     )
                 for item in measured_items:
+                    if control is not None and control.expired():
+                        unstarted_items.append(item)
+                        continue
                     if progress is not None:
                         progress.item_started(_item_label(item))
                     with timed_span(
@@ -453,6 +607,12 @@ class MorphingSession:
                         store[item] = self._measure_item(
                             graph, item, exec_, count_mode
                         )
+                    if (
+                        control is not None
+                        and control.reports
+                        and not control.reports[-1].complete
+                    ):
+                        incomplete_items.add(item)
                     item_seconds[item] = item_span.seconds
                     if progress is not None:
                         progress.item_finished(
@@ -460,18 +620,44 @@ class MorphingSession:
                         )
                 if progress is not None:
                     progress.finish()
+            # An interrupted item's value covers only its completed
+            # shards: keep it out of the conversion store (and the
+            # cache) so a partial aggregate is never passed off as full.
+            partial_values = {
+                item: store.pop(item) for item in sorted(incomplete_items, key=repr)
+            }
             if self.cache is not None:
                 for item in measured_items:
-                    self.cache.put(graph, self.aggregation, item, store[item])
+                    if item in store:
+                        self.cache.put(graph, self.aggregation, item, store[item])
         match_seconds = match_span.seconds
 
+        interrupted = control is not None and (
+            control.interrupted or unstarted_items or incomplete_items
+        )
         with timed_span(tracer, "convert", queries=len(patterns)) as convert_span:
-            if count_mode:
-                results: dict[Pattern, Any] = convert_counts(patterns, store)
+            unresolved: list[Pattern] = []
+            if not interrupted:
+                if count_mode:
+                    results: dict[Pattern, Any] = convert_counts(patterns, store)
+                else:
+                    results = convert_aggregation_store(
+                        patterns, store, self.aggregation
+                    )
             else:
-                results = convert_aggregation_store(
-                    patterns, store, self.aggregation
-                )
+                # Per-query conversion: a query survives if the completed
+                # items still determine it (Eq. 1 may need only a subset).
+                results = {}
+                for query in patterns:
+                    try:
+                        if count_mode:
+                            results[query] = convert_counts([query], store)[query]
+                        else:
+                            results[query] = convert_aggregation_store(
+                                [query], store, self.aggregation
+                            )[query]
+                    except UnderivableError:
+                        unresolved.append(query)
         convert_seconds = convert_span.seconds
 
         if tracer is not None:
@@ -479,6 +665,22 @@ class MorphingSession:
                 selection, cost_model, item_seconds, store, cached_items
             )
 
+        if interrupted:
+            return PartialRunResult(
+                results=results,
+                stats=self.engine.stats,
+                morphing_enabled=True,
+                measured=selection.measured,
+                selection=selection,
+                transform_seconds=transform_seconds,
+                match_seconds=match_seconds,
+                convert_seconds=convert_seconds,
+                coverage=control.coverage(len(unstarted_items)),
+                completed_shards=control.completed_shards,
+                total_shards=control.charged_total(len(unstarted_items)),
+                unresolved=tuple(unresolved),
+                partial_items=partial_values,
+            )
         return MorphRunResult(
             results=results,
             stats=self.engine.stats,
@@ -506,10 +708,19 @@ class MorphingSession:
         """
         tracer = self.tracer
         progress = self.progress
+        control = self._control
         count_mode = isinstance(self.aggregation, CountAggregation)
         item_seconds: dict[Item, float] = {}
+        unstarted = 0
+        unresolved: list[Pattern] = []
+        partial_values: dict[Item, Any] = {}
         with timed_span(tracer, "match", items=len(patterns)) as match_span:
-            if count_mode and tracer is None and progress is None:
+            if (
+                count_mode
+                and tracer is None
+                and progress is None
+                and control is None
+            ):
                 results: dict[Pattern, Any] = dict(
                     self._count_set(graph, patterns, exec_)
                 )
@@ -532,6 +743,10 @@ class MorphingSession:
                     )
                 results = {}
                 for p in patterns:
+                    if control is not None and control.expired():
+                        unstarted += 1
+                        unresolved.append(p)
+                        continue
                     if progress is not None:
                         progress.item_started(pattern_name(p))
                     with timed_span(
@@ -541,6 +756,15 @@ class MorphingSession:
                             results[p] = self._count_set(graph, [p], exec_)[p]
                         else:
                             results[p] = self._aggregate_one(graph, p, exec_)
+                    if (
+                        control is not None
+                        and control.reports
+                        and not control.reports[-1].complete
+                    ):
+                        # Only some shards finished: surface the value as
+                        # explicitly partial, not as this query's answer.
+                        partial_values[item_of(p)] = results.pop(p)
+                        unresolved.append(p)
                     item_seconds[item_of(p)] = item_span.seconds
                     if progress is not None:
                         progress.item_finished(
@@ -554,6 +778,21 @@ class MorphingSession:
             )
             self._emit_audits(
                 selection, cost_model, item_seconds, counts_store, set()
+            )
+        if control is not None and (
+            control.interrupted or unstarted or partial_values
+        ):
+            return PartialRunResult(
+                results=results,
+                stats=self.engine.stats,
+                morphing_enabled=False,
+                measured=frozenset(item_of(p) for p in patterns),
+                match_seconds=match_span.seconds,
+                coverage=control.coverage(unstarted),
+                completed_shards=control.completed_shards,
+                total_shards=control.charged_total(unstarted),
+                unresolved=tuple(unresolved),
+                partial_items=partial_values,
             )
         return MorphRunResult(
             results=results,
@@ -603,6 +842,30 @@ class MorphingSession:
             emitted[query] += 1
             process(query, match)
 
+        def check_deadline(done_streaming: bool = False) -> None:
+            """Streaming cannot degrade to a partial store: raise instead.
+
+            A match already handed to ``process`` cannot be recalled, so
+            an expired deadline here surfaces as
+            :class:`RunDeadlineExceeded` — the streamed prefix is
+            explicitly incomplete — rather than a PartialRunResult.
+            """
+            control = self._control
+            if control is None:
+                return
+            incomplete = (
+                done_streaming
+                and control.reports
+                and not control.reports[-1].complete
+            )
+            if incomplete or (not done_streaming and control.expired()):
+                assert control.deadline is not None
+                raise RunDeadlineExceeded(
+                    f"deadline of {control.deadline.seconds:g}s expired "
+                    "during a streaming run; the match stream is incomplete",
+                    deadline_seconds=control.deadline.seconds,
+                )
+
         def stream_patterns(items: list[tuple[str, Pattern, Callable]]):
             """Run each (label, pattern, callback), spanning per item."""
             progress = self.progress
@@ -611,12 +874,14 @@ class MorphingSession:
                 progress.start([(label, 1.0) for label, _p, _cb in items])
             with timed_span(tracer, "match", items=len(items)) as match_span:
                 for label, pattern, callback in items:
+                    check_deadline()
                     if progress is not None:
                         progress.item_started(label)
                     with timed_span(
                         tracer, "match.item", item=label
                     ) as item_span:
                         self._explore(graph, pattern, callback, exec_)
+                    check_deadline(done_streaming=True)
                     try:
                         item_seconds[item_of(pattern)] = item_span.seconds
                     except ValueError:
@@ -746,12 +1011,14 @@ class MorphingSession:
                     for converter in _fan:
                         converter(match)
 
+                check_deadline()
                 if progress is not None:
                     progress.item_started(_item_label(item))
                 with timed_span(
                     tracer, "match.item", item=_item_label(item)
                 ) as item_span:
                     self._explore(graph, materialize(item), on_match, exec_)
+                check_deadline(done_streaming=True)
                 item_seconds[item] = item_span.seconds
                 if progress is not None:
                     progress.item_finished(_item_label(item), item_span.seconds)

@@ -102,6 +102,7 @@ class ProgressReporter:
         self._started_at = 0.0
         self._last_emit = float("-inf")
         self._active = False
+        self.events: list[tuple[str, str]] = []
 
     @property
     def _stream(self) -> TextIO | None:
@@ -142,6 +143,19 @@ class ProgressReporter:
             return
         self._emit(final=True)
         self._active = False
+
+    def event(self, kind: str, detail: str) -> None:
+        """Record an out-of-band recovery event (retry/fallback/…).
+
+        The fault-tolerance layer reports shard retries and in-process
+        fallbacks here; events accumulate in ``events`` (tests assert
+        on them, :meth:`start` clears them with the rest of the state)
+        and retry/fallback counts are rendered into the progress line
+        so a stalling run visibly says why.
+        """
+        self.events.append((kind, detail))
+        if self._active:
+            self._emit()
 
     # -- the estimate ------------------------------------------------------
 
@@ -202,6 +216,12 @@ class ProgressReporter:
             parts.append(f"done in {snap.elapsed_seconds:.2f}s")
         elif snap.current_item is not None:
             parts.append(f"({snap.current_item})")
+        retries = sum(1 for kind, _ in self.events if kind == "retry")
+        fallbacks = sum(1 for kind, _ in self.events if kind == "fallback")
+        if retries:
+            parts.append(f"{retries} retr{'y' if retries == 1 else 'ies'}")
+        if fallbacks:
+            parts.append(f"{fallbacks} fallback{'s' if fallbacks != 1 else ''}")
         # Left-pad with \r and right-pad with spaces so a shorter line
         # fully overwrites a longer previous one without ANSI escapes.
         stream.write(("\r" + "  ".join(parts)).ljust(79))

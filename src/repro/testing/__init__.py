@@ -1,0 +1,10 @@
+"""Deterministic test harnesses for the fault-tolerance layer.
+
+Nothing in here runs in production paths unless explicitly injected;
+:mod:`repro.testing.faults` is the shard-level fault injector the
+``tests/test_fault_tolerance.py`` differential matrix drives.
+"""
+
+from repro.testing.faults import FaultPlan, FaultSpec, InjectedWorkerCrash
+
+__all__ = ["FaultPlan", "FaultSpec", "InjectedWorkerCrash"]

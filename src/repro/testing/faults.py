@@ -1,0 +1,199 @@
+"""Deterministic shard-level fault injection.
+
+The fault-tolerance layer is only trustworthy if its recovery paths are
+*exercised*, not just written; this module injects the four failure
+modes the execution layer must survive, keyed by **shard index** so
+every run of a test hits exactly the same shards:
+
+* ``crash`` — the worker process dies abruptly (``os._exit`` inside a
+  pool worker, so the parent sees a real ``BrokenProcessPool``); in an
+  in-process transport the same spec raises
+  :class:`InjectedWorkerCrash` instead (``os._exit`` would kill the
+  test process).
+* ``hang`` — the shard wedges: it spins polling the run's stop signal
+  and never produces a result, releasing only when the deadline (or a
+  saturation cancel) fires. Pair it with a deadline; a hang with no
+  stop signal configured is rejected up front.
+* ``slow`` — the shard sleeps ``seconds`` before executing normally
+  (deadline-pressure without wedging).
+* ``corrupt`` — the shard completes but returns a silently wrong value
+  (counts off by ``delta``, booleans inverted, lists truncated). Used
+  to prove the differential matrix *would catch* silent corruption and
+  that checkpoint integrity checking rejects tampered records.
+
+Faults are scoped by attempt: a spec with ``times=2`` fires on attempts
+0 and 1 and lets attempt 2 through — which is exactly how the retry
+path is proven to converge. ``times=None`` means every attempt (a
+"poisoned" shard). Plans are picklable (they ship to pool workers
+through the task payload) and :meth:`FaultPlan.random` derives a plan
+from a seed for property-style tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+__all__ = ["FaultPlan", "FaultSpec", "InjectedWorkerCrash"]
+
+_KINDS = ("crash", "hang", "slow", "corrupt")
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """The in-process stand-in for a worker process dying abruptly.
+
+    Raised by :meth:`FaultPlan.apply_before_shard` when a ``crash``
+    spec fires in a transport that shares the caller's process; the
+    recovery layer treats it exactly like a ``BrokenProcessPool``.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One shard's injected failure mode.
+
+    ``times`` bounds how many *attempts* the fault affects (``None`` =
+    every attempt — a poisoned shard). ``seconds`` is the ``slow``
+    delay; ``delta`` the ``corrupt`` offset applied to integer values.
+    """
+
+    kind: str
+    times: int | None = 1
+    seconds: float = 0.05
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {_KINDS}"
+            )
+
+    def active(self, attempt: int) -> bool:
+        """Whether this spec fires on the given (0-based) attempt."""
+        return self.times is None or attempt < self.times
+
+
+class FaultPlan:
+    """Shard-index-keyed fault schedule for one run.
+
+    Construct directly from a ``{shard_index: FaultSpec}`` mapping or
+    derive one deterministically from a seed with :meth:`random`. The
+    plan is consulted by the recovery layer (in-process transports) and
+    inside ``_run_shard_task`` (pool workers); both call sites key on
+    ``(shard_index, attempt)``, so behavior is identical no matter
+    which process evaluates the plan.
+    """
+
+    def __init__(self, specs: Mapping[int, FaultSpec] | None = None) -> None:
+        self.specs: dict[int, FaultSpec] = dict(specs or {})
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{i}:{s.kind}x{s.times if s.times is not None else 'inf'}"
+            for i, s in sorted(self.specs.items())
+        )
+        return f"FaultPlan({{{inner}}})"
+
+    @classmethod
+    def crashes(
+        cls, shard_indices: Iterable[int], times: int = 1
+    ) -> "FaultPlan":
+        """Plan that crashes each listed shard ``times`` attempts."""
+        return cls({i: FaultSpec("crash", times=times) for i in shard_indices})
+
+    @classmethod
+    def random(
+        cls,
+        num_shards: int,
+        seed: int,
+        p_fault: float = 0.2,
+        kinds: tuple[str, ...] = ("crash", "slow"),
+        max_times: int = 2,
+    ) -> "FaultPlan":
+        """Seed-derived plan: each shard independently faulty with ``p_fault``.
+
+        The RNG is local and fully determined by ``seed``, so the same
+        seed always produces the same plan — the property the
+        differential matrix needs to shrink failures.
+        """
+        rng = random.Random(seed)
+        specs: dict[int, FaultSpec] = {}
+        for index in range(num_shards):
+            if rng.random() < p_fault:
+                kind = rng.choice(list(kinds))
+                specs[index] = FaultSpec(
+                    kind,
+                    times=rng.randint(1, max_times),
+                    seconds=0.01 * rng.randint(1, 3),
+                )
+        return cls(specs)
+
+    def spec_for(self, shard_index: int, attempt: int) -> FaultSpec | None:
+        """The spec that fires for this (shard, attempt), if any."""
+        spec = self.specs.get(shard_index)
+        if spec is not None and spec.active(attempt):
+            return spec
+        return None
+
+    # -- application -------------------------------------------------------
+
+    def apply_before_shard(
+        self,
+        shard_index: int,
+        attempt: int,
+        *,
+        in_worker: bool,
+        stop_check: Callable[[], bool] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> bool:
+        """Fire pre-execution faults; returns True when the shard must abort.
+
+        ``crash`` kills the process (``in_worker=True``) or raises
+        :class:`InjectedWorkerCrash`; ``slow`` sleeps and proceeds;
+        ``hang`` polls ``stop_check`` until it fires, then reports the
+        shard as aborted (return ``True`` — the caller produces no
+        result for it). ``corrupt`` does nothing here (it rewrites the
+        result afterwards, see :meth:`transform_value`).
+        """
+        spec = self.spec_for(shard_index, attempt)
+        if spec is None:
+            return False
+        if spec.kind == "crash":
+            if in_worker:
+                import os
+
+                os._exit(13)
+            raise InjectedWorkerCrash(
+                f"injected crash on shard {shard_index} (attempt {attempt})"
+            )
+        if spec.kind == "slow":
+            sleep(spec.seconds)
+            return False
+        if spec.kind == "hang":
+            if stop_check is None:
+                raise ValueError(
+                    "a 'hang' fault needs a stop signal (deadline or cancel) "
+                    "to release it — configure a deadline for this run"
+                )
+            while not stop_check():
+                sleep(0.005)
+            return True
+        return False  # corrupt: post-execution only
+
+    def transform_value(self, shard_index: int, attempt: int, value):
+        """Apply a ``corrupt`` spec to a completed shard's value."""
+        spec = self.spec_for(shard_index, attempt)
+        if spec is None or spec.kind != "corrupt":
+            return value
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, int):
+            return value + spec.delta
+        if isinstance(value, list):
+            return value[:-1] if value else value
+        return value
