@@ -81,6 +81,7 @@ def run(
     cache: MeasurementCache | None = None,
     trace: Any = None,
     progress: ProgressReporter | bool | None = None,
+    batch_roots: int | None = None,
     deadline_seconds: float | None = None,
     checkpoint: Any = None,
     retry: Any = None,
@@ -126,6 +127,15 @@ def run(
         per-item costs and is corrected online by measured match times —
         or a :class:`repro.ProgressReporter` to report through (e.g.
         with a custom stream or a calibration prior).
+    batch_roots:
+        ``None`` (default) runs the engines' per-root DFS kernels. An
+        int switches matching to the vectorized batched-frontier path
+        (:mod:`repro.engines.frontier`): roots expand in chunks of that
+        size through whole-frontier numpy set-ops — typically several
+        times faster on non-trivial graphs — with byte-identical
+        results, composing with ``workers``, tracing, progress and all
+        fault-tolerance options. 2048 is a good starting point (see the
+        cookbook's "Tuning batch size" recipe).
     deadline_seconds:
         Wall-clock budget for the whole run. On expiry outstanding
         shards are cancelled through the shared cancel token and the
@@ -179,6 +189,7 @@ def run(
         workers=workers,
         tracer=tracer,
         progress=reporter,
+        batch_roots=batch_roots,
         deadline_seconds=deadline_seconds,
         checkpoint=checkpoint,
         retry=retry,

@@ -114,18 +114,26 @@ def compare_workload(
     aggregation: Aggregation | None = None,
     workers: int = 1,
     trace: bool = False,
+    batch_roots: int | None = None,
 ) -> ComparisonRow:
     """Run one workload with and without morphing; assert equal results.
 
     ``workers > 1`` shard-parallelizes both sessions; the comparison
     stays apples-to-apples and the row records the worker count.
+    ``batch_roots`` switches *both* sessions to the vectorized
+    batched-frontier kernels (so the morphing comparison itself stays
+    apples-to-apples on the batched path too).
     ``trace=True`` traces the morphed run (spans + metrics + cost-model
     audits) and attaches the :class:`RunTrace` as ``row.morphed_trace``;
     the per-stage columns are populated either way from the run's own
     phase timers.
     """
     baseline_session = MorphingSession(
-        engine_factory(), aggregation=aggregation, enabled=False, workers=workers
+        engine_factory(),
+        aggregation=aggregation,
+        enabled=False,
+        workers=workers,
+        batch_roots=batch_roots,
     )
     morphed_session = MorphingSession(
         engine_factory(),
@@ -133,6 +141,7 @@ def compare_workload(
         enabled=True,
         workers=workers,
         tracer=Tracer() if trace else None,
+        batch_roots=batch_roots,
     )
     rss_before = peak_rss_kib()
     baseline = baseline_session.run(graph, list(patterns))

@@ -512,6 +512,8 @@ class WorkloadSpec:
     engine: Callable[[], Any]
     graph: Callable[[], Any]
     patterns: Callable[[], list]
+    #: Batched-frontier chunk size for both legs (None = per-root DFS).
+    batch_roots: int | None = None
 
 
 def record_suite(quick: bool = False) -> list[WorkloadSpec]:
@@ -520,7 +522,9 @@ def record_suite(quick: bool = False) -> list[WorkloadSpec]:
     Deliberately small (the suite runs on every PR): motif counting on
     the MiCo stand-in across two engines, plus the Filter-UDF workload
     that exercises the vertex-induced conversion path. ``quick`` keeps
-    the two cheapest.
+    the two cheapest. All standing workloads run the batched-frontier
+    kernels (``batch_roots=2048``, the production recommendation), so
+    the stored trajectory gates the path users actually run.
     """
     from repro.core.atlas import (
         EVALUATION_PATTERNS,
@@ -528,6 +532,7 @@ def record_suite(quick: bool = False) -> list[WorkloadSpec]:
         TAILED_TRIANGLE,
         motif_patterns,
     )
+    from repro.engines.frontier import DEFAULT_BATCH_ROOTS
     from repro.engines.graphpi.engine import GraphPiEngine
     from repro.engines.peregrine.engine import PeregrineEngine
     from repro.graph import datasets
@@ -538,6 +543,7 @@ def record_suite(quick: bool = False) -> list[WorkloadSpec]:
             PeregrineEngine,
             datasets.mico,
             lambda: list(motif_patterns(3)),
+            batch_roots=DEFAULT_BATCH_ROOTS,
         ),
         WorkloadSpec(
             "graphpi/TT+4S-V",
@@ -547,6 +553,7 @@ def record_suite(quick: bool = False) -> list[WorkloadSpec]:
                 TAILED_TRIANGLE.vertex_induced(),
                 FOUR_STAR.vertex_induced(),
             ],
+            batch_roots=DEFAULT_BATCH_ROOTS,
         ),
     ]
     if not quick:
@@ -556,12 +563,14 @@ def record_suite(quick: bool = False) -> list[WorkloadSpec]:
                 PeregrineEngine,
                 datasets.mico,
                 lambda: list(motif_patterns(4)),
+                batch_roots=DEFAULT_BATCH_ROOTS,
             ),
             WorkloadSpec(
                 "peregrine/p1-V",
                 PeregrineEngine,
                 datasets.mico,
                 lambda: [EVALUATION_PATTERNS["p1"].vertex_induced()],
+                batch_roots=DEFAULT_BATCH_ROOTS,
             ),
         ]
     return specs
@@ -601,11 +610,14 @@ def collect_record(
                 patterns,
                 workload=spec.name,
                 trace=trial == 0,
+                batch_roots=spec.batch_roots,
             )
             if row.morphed_trace is not None:
-                agreements[workload_key(row.workload, row.graph)] = (
-                    rank_agreement(row.morphed_trace.audits)
-                )
+                agreement = rank_agreement(row.morphed_trace.audits)
+                if agreement is not None:
+                    agreements[workload_key(row.workload, row.graph)] = (
+                        agreement
+                    )
                 row.morphed_trace = None  # the record keeps the summary only
             rows.append(row)
     full_meta = {"source": "bench-record", "quick": quick, "trials": trials}

@@ -104,6 +104,18 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_roots(parser: argparse.ArgumentParser) -> None:
+    """Only on subcommands that run through ``repro.run``."""
+    parser.add_argument(
+        "--batch-roots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="expand roots in vectorized frontier batches of N instead of "
+        "the per-root DFS kernels (identical results; try 2048)",
+    )
+
+
 def _add_fault_tolerance(parser: argparse.ArgumentParser) -> None:
     """Only on subcommands that run through ``repro.run``."""
     parser.add_argument(
@@ -179,6 +191,7 @@ def cmd_count(args) -> int:
         workers=args.workers,
         trace=args.trace,
         progress=args.progress,
+        batch_roots=args.batch_roots,
         **_fault_kwargs(args),
     )
     for p in patterns:
@@ -200,6 +213,7 @@ def cmd_motifs(args) -> int:
         workers=args.workers,
         trace=args.trace,
         progress=args.progress,
+        batch_roots=args.batch_roots,
         **_fault_kwargs(args),
     )
     for p, c in sorted(result.results.items(), key=lambda kv: -kv[1]):
@@ -365,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     count = sub.add_parser("count", help="count pattern matches")
     _add_common(count)
     _add_workers(count)
+    _add_batch_roots(count)
     _add_trace(count)
     _add_fault_tolerance(count)
     count.add_argument(
@@ -374,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     motifs = sub.add_parser("motifs", help="motif counting")
     _add_common(motifs)
     _add_workers(motifs)
+    _add_batch_roots(motifs)
     _add_trace(motifs)
     _add_fault_tolerance(motifs)
     motifs.add_argument("--size", type=int, default=4, choices=(3, 4, 5))

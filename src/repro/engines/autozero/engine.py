@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.pattern import Pattern
-from repro.engines.autozero.codegen import run_compiled
+from repro.engines.autozero.codegen import run_compiled, run_compiled_batched
 from repro.engines.autozero.schedule import execute_merged_counts, merge_schedules
 from repro.engines.base import MiningEngine
 from repro.graph.datagraph import DataGraph
@@ -34,7 +34,30 @@ class AutoZeroEngine(MiningEngine):
     native_anti_edges = True
 
     def _execute(self, graph, plan, on_match=None, root_window=None, should_stop=None):
-        """Single-pattern paths run *compiled* kernels (AutoMine-style)."""
+        """Single-pattern paths run *compiled* kernels (AutoMine-style).
+
+        With ``batch_roots`` set the compiled kernel is the *batched
+        schedule* (:func:`~repro.engines.autozero.codegen.compile_plan_batched`):
+        same inlined constants, but expanding a whole root frontier per
+        level through the vectorized frontier primitives.
+        """
+        if self.batch_roots is not None:
+            with self.kernel_span(
+                "kernel.compiled_batched",
+                depth=plan.depth,
+                batch_roots=self.batch_roots,
+                window=list(root_window) if root_window else None,
+            ):
+                return run_compiled_batched(
+                    graph,
+                    plan,
+                    self.stats,
+                    on_match,
+                    root_window=root_window,
+                    should_stop=should_stop,
+                    batch_roots=self.batch_roots,
+                    on_batch=self._batch_hook(),
+                )
         with self.kernel_span(
             "kernel.compiled",
             depth=plan.depth,
@@ -56,6 +79,12 @@ class AutoZeroEngine(MiningEngine):
         patterns = list(patterns)
         if not patterns:
             return {}
+        if self.batch_roots is not None:
+            # The merged-schedule interpreter is a per-root DFS by
+            # construction; under batching each pattern runs its own
+            # batched schedule instead (no loop sharing to report).
+            self.last_sharing_ratio = 1.0
+            return super().count_set(graph, patterns)
         plans = [self.make_plan(p, graph) for p in patterns]
         schedule = merge_schedules(plans)
         self.last_sharing_ratio = schedule.sharing_ratio

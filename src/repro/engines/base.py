@@ -286,13 +286,27 @@ class MiningEngine(ABC):
         #: kernels check it with one ``is None`` test, so the untraced
         #: hot path stays allocation-free.
         self.tracer = None
+        #: Batched frontier matching (:mod:`repro.engines.frontier`):
+        #: ``None`` keeps the per-root kernels; an int expands roots in
+        #: chunks of that size through the vectorized frontier kernel.
+        #: Set by the session's ``batch_roots`` knob; pickles to pool
+        #: workers, so shards batch exactly like the parent would.
+        self.batch_roots: int | None = None
+        #: Live :class:`repro.observe.ProgressReporter` during a run
+        #: with both progress and batching enabled — the batched kernel
+        #: reports per-chunk completion through it so the ETA
+        #: recalibrates per batch instead of per item.
+        self.progress = None
 
     def __getstate__(self):
-        # Engines ship to pool workers by pickle; the tracer stays home
-        # (workers record into their own tracer when span collection is
-        # requested — see ``execution._run_shard_task``).
+        # Engines ship to pool workers by pickle; the tracer and the
+        # progress reporter stay home (workers record into their own
+        # tracer when span collection is requested — see
+        # ``execution._run_shard_task`` — and cannot render to the
+        # parent's stream).
         state = self.__dict__.copy()
         state["tracer"] = None
+        state["progress"] = None
         return state
 
     def reset_stats(self) -> None:
@@ -324,6 +338,7 @@ class MiningEngine(ABC):
             stats.udf_seconds,
             stats.filter_seconds,
             stats.materialized,
+            setops.batched,
         )
         with tracer.span(name, **attributes) as span:
             try:
@@ -338,12 +353,20 @@ class MiningEngine(ABC):
                     udf_seconds=stats.udf_seconds - before[5],
                     filter_seconds=stats.filter_seconds - before[6],
                     materialized=stats.materialized - before[7],
+                    batched=setops.batched - before[8],
                 )
 
     # -- plan construction (engines override) ------------------------------
 
     def make_plan(self, pattern: Pattern, graph: DataGraph) -> ExplorationPlan:
         return ExplorationPlan.build(pattern)
+
+    def _batch_hook(self):
+        """Per-chunk progress callback for the batched kernels (or None)."""
+        progress = self.progress
+        if progress is None:
+            return None
+        return progress.item_progress
 
     def _execute(
         self,
@@ -354,6 +377,25 @@ class MiningEngine(ABC):
         should_stop: Callable[[], bool] | None = None,
     ) -> int:
         """Run one plan; engines may swap the kernel (AutoZero compiles)."""
+        if self.batch_roots is not None:
+            from repro.engines.frontier import run_plan_batched
+
+            with self.kernel_span(
+                "kernel.batched",
+                depth=plan.depth,
+                batch_roots=self.batch_roots,
+                window=list(root_window) if root_window else None,
+            ):
+                return run_plan_batched(
+                    graph,
+                    plan,
+                    self.stats,
+                    on_match,
+                    root_window=root_window,
+                    should_stop=should_stop,
+                    batch_roots=self.batch_roots,
+                    on_batch=self._batch_hook(),
+                )
         with self.kernel_span(
             "kernel", depth=plan.depth, window=list(root_window) if root_window else None
         ):

@@ -79,6 +79,9 @@ class SetOpStats:
     seconds: float = 0.0
     #: Ops that took the galloping searchsorted path (adaptive dispatch).
     galloped: int = 0
+    #: Whole-frontier vectorized ops (:mod:`repro.engines.frontier`);
+    #: one tick covers an entire batch of per-root operations.
+    batched: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -90,6 +93,7 @@ class SetOpStats:
         self.elements_scanned += other.elements_scanned
         self.seconds += other.seconds
         self.galloped += other.galloped
+        self.batched += other.batched
 
 
 def _gallop_intersect(small: np.ndarray, big: np.ndarray) -> np.ndarray:

@@ -28,6 +28,12 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 
+#: Largest vertex count that still gets a dense boolean adjacency matrix
+#: (``n²`` bytes; 8192² = 64 MiB). Bigger graphs answer batch membership
+#: through the sorted ``adjacency_keys`` binary search instead.
+DENSE_ADJACENCY_MAX_VERTICES = 8192
+
+
 def _index_dtype(num_vertices: int) -> np.dtype:
     """Narrowest integer dtype that holds every vertex id."""
     return np.dtype(np.int32 if num_vertices <= np.iinfo(np.int32).max else np.int64)
@@ -214,6 +220,42 @@ class DataGraph:
         edges = self._edge_array
         keys = edges[:, 0] * np.int64(self.num_vertices) + edges[:, 1]
         return set(keys.tolist())
+
+    @cached_property
+    def adjacency_keys(self) -> np.ndarray:
+        """Sorted packed ``u * n + v`` keys of every *directed* edge.
+
+        The vectorized-membership companion of ``_edge_keys``: one
+        ``np.searchsorted`` against this array answers a whole batch of
+        "is ``v`` adjacent to ``u``?" probes at once (the batched
+        frontier kernels' workhorse). Sorted by construction — CSR rows
+        ascend by head, and each row's tail list is sorted.
+        """
+        heads = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self._indptr)
+        )
+        keys = heads * np.int64(self.num_vertices) + self._indices
+        keys.flags.writeable = False
+        return keys
+
+    @cached_property
+    def dense_adjacency(self) -> np.ndarray | None:
+        """Dense boolean adjacency matrix, or ``None`` above the size cap.
+
+        ``dense[u, v]`` answers adjacency with a single 2-D fancy index —
+        the fastest batch membership primitive there is, but it costs
+        ``n²`` bytes, so it only exists for graphs small enough that the
+        matrix stays cache-friendly (``DENSE_ADJACENCY_MAX_VERTICES``).
+        Larger graphs fall back to the ``adjacency_keys`` binary search.
+        """
+        n = self.num_vertices
+        if n > DENSE_ADJACENCY_MAX_VERTICES:
+            return None
+        dense = np.zeros((n, n), dtype=bool)
+        heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+        dense[heads, self._indices] = True
+        dense.flags.writeable = False
+        return dense
 
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted neighbor ids of ``v`` — a zero-copy read-only CSR slice."""

@@ -154,6 +154,7 @@ class MorphingSession:
         executor=None,
         tracer: Tracer | None = None,
         progress: ProgressReporter | None = None,
+        batch_roots: int | None = None,
         deadline_seconds: float | None = None,
         checkpoint=None,
         retry=None,
@@ -190,6 +191,18 @@ class MorphingSession:
         per-item measurement (identical results), and ``progress=None``
         (the default) costs one ``is None`` test per item.
 
+        ``batch_roots`` switches the wrapped engine's match kernels to
+        the vectorized batched-frontier path
+        (:mod:`repro.engines.frontier`): roots expand in chunks of that
+        size through whole-frontier numpy set-ops instead of a per-root
+        Python DFS. Results — counts, MNI tables, ordered match lists —
+        are byte-identical to the default per-root path (the
+        ``tests/test_frontier.py`` differential matrix pins this), and
+        the setting composes with every other knob: shards feed root
+        batches, so workers/retries/deadlines/checkpoints behave
+        unchanged, and with ``progress`` the ETA recalibrates after
+        every chunk. ``None`` (the default) keeps the per-root kernels.
+
         **Fault tolerance** (any of the four below activates it; matching
         then always routes through the sharded path, in-process when
         ``workers <= 1``): ``deadline_seconds`` bounds the run's wall
@@ -224,6 +237,9 @@ class MorphingSession:
         self.executor = executor
         self.tracer = tracer
         self.progress = progress
+        if batch_roots is not None and batch_roots < 1:
+            raise ValueError(f"batch_roots must be >= 1, got {batch_roots!r}")
+        self.batch_roots = batch_roots
         self.deadline_seconds = deadline_seconds
         self.checkpoint = checkpoint
         self.retry = retry
@@ -389,6 +405,10 @@ class MorphingSession:
         ):
             previous_tracer = self.engine.tracer
             self.engine.tracer = tracer
+            previous_batch = self.engine.batch_roots
+            previous_progress = self.engine.progress
+            self.engine.batch_roots = self.batch_roots
+            self.engine.progress = self.progress
             exec_, owned = None, False
             self._control = control
             try:
@@ -410,6 +430,8 @@ class MorphingSession:
                 if owns_checkpoint and control.checkpoint is not None:
                     control.checkpoint.close()
                 self.engine.tracer = previous_tracer
+                self.engine.batch_roots = previous_batch
+                self.engine.progress = previous_progress
         result.executor_seconds = setup_seconds + teardown_seconds
         if tracer is not None:
             tracer.metrics.record_engine_stats(result.stats)
@@ -1067,6 +1089,7 @@ def compare_baseline_and_morphed(
     cache: "MeasurementCache | None" = None,
     margin: float = 0.6,
     tracer: Tracer | None = None,
+    batch_roots: int | None = None,
 ) -> tuple[MorphRunResult, MorphRunResult]:
     """Run the same workload twice (baseline, morphed) on fresh engines.
 
@@ -1081,7 +1104,8 @@ def compare_baseline_and_morphed(
     cache warms across the two runs in call order (baseline first).
     ``tracer`` traces the **morphed** run (the side whose per-stage
     telemetry the figures need); trace the baseline by running it
-    directly with its own session.
+    directly with its own session. ``batch_roots`` selects the batched
+    frontier kernels on both sides (identical results either way).
     """
     if args:
         from repro import _compat
@@ -1098,6 +1122,7 @@ def compare_baseline_and_morphed(
         workers=workers,
         cache=cache,
         margin=margin,
+        batch_roots=batch_roots,
     ).run(graph, patterns)
     morphed = MorphingSession(
         engine_factory(),
@@ -1107,5 +1132,6 @@ def compare_baseline_and_morphed(
         cache=cache,
         margin=margin,
         tracer=tracer,
+        batch_roots=batch_roots,
     ).run(graph, patterns)
     return baseline, morphed

@@ -81,13 +81,20 @@ class CostAuditRecord:
         )
 
 
-def rank_agreement(records: list[CostAuditRecord]) -> float:
+#: Below this many comparable pairs the concordance is not a verdict:
+#: a single pair collapses to 0.0 or 1.0 on one noisy wall-clock sample.
+MIN_COMPARABLE_PAIRS = 2
+
+
+def rank_agreement(records: list[CostAuditRecord]) -> float | None:
     """Concordance between predicted and measured per-item cost ranking.
 
     Only per-item records with a real measurement participate (cached
-    items and the selection summary are skipped). Returns 1.0 when
-    fewer than two comparable items exist — an empty audit cannot
-    contradict the model.
+    items and the selection summary are skipped). Returns ``None`` when
+    fewer than :data:`MIN_COMPARABLE_PAIRS` comparable pairs exist —
+    with one pair (two measured items) the score degenerates to 0.0 or
+    1.0 on the strength of a single timing, which is noise, not a
+    ranking verdict (the regression gate skips ``None``).
     """
     items = [
         r
@@ -104,4 +111,6 @@ def rank_agreement(records: list[CostAuditRecord]) -> float:
         predicted = a.predicted_cost < b.predicted_cost
         measured = a.measured_seconds < b.measured_seconds
         concordant += predicted == measured
-    return concordant / pairs if pairs else 1.0
+    if pairs < MIN_COMPARABLE_PAIRS:
+        return None
+    return concordant / pairs

@@ -42,6 +42,7 @@ class MetricsRegistry:
         self.add(prefix + "setops.intersections", stats.setops.intersections)
         self.add(prefix + "setops.differences", stats.setops.differences)
         self.add(prefix + "setops.galloped", stats.setops.galloped)
+        self.add(prefix + "setops.batched", stats.setops.batched)
         self.add(prefix + "setops.elements_scanned", stats.setops.elements_scanned)
         self.add(prefix + "setops.seconds", stats.setops.seconds)
         self.add(prefix + "matches", stats.matches)

@@ -99,6 +99,8 @@ class ProgressReporter:
         self._done_cost = 0.0
         self._done_seconds = 0.0
         self._current: str | None = None
+        self._current_started_at = 0.0
+        self._current_fraction = 0.0
         self._started_at = 0.0
         self._last_emit = float("-inf")
         self._active = False
@@ -125,6 +127,24 @@ class ProgressReporter:
     def item_started(self, label: str) -> None:
         """The match loop is about to measure ``label``."""
         self._current = label
+        self._current_started_at = self.clock()
+        self._current_fraction = 0.0
+        self._emit()
+
+    def item_progress(self, fraction: float) -> None:
+        """Partial completion (0..1) of the *current* item.
+
+        The batched frontier kernel reports the completed root fraction
+        after every root chunk, so the ETA recalibrates per batch instead
+        of only at item boundaries — on a one-item run the estimate moves
+        long before ``item_finished``. Monotonic (a late or duplicate
+        callback can only advance the fraction) and ignored when no item
+        is in flight.
+        """
+        if self._current is None or self._current not in self._costs:
+            return
+        fraction = min(1.0, max(0.0, float(fraction)))
+        self._current_fraction = max(self._current_fraction, fraction)
         self._emit()
 
     def item_finished(self, label: str, seconds: float) -> None:
@@ -135,6 +155,7 @@ class ProgressReporter:
             self._done_seconds += max(0.0, seconds)
         if self._current == label:
             self._current = None
+            self._current_fraction = 0.0
         self._emit()
 
     def finish(self) -> None:
@@ -159,16 +180,30 @@ class ProgressReporter:
 
     # -- the estimate ------------------------------------------------------
 
+    def _partial_cost(self) -> float:
+        """Cost units completed *inside* the current in-flight item."""
+        if self._current is None or self._current_fraction <= 0.0:
+            return 0.0
+        if self._current in self._done or self._current not in self._costs:
+            return 0.0
+        return self._current_fraction * self._costs[self._current]
+
     @property
     def seconds_per_cost(self) -> float | None:
         """Current calibration: measured seconds per predicted cost unit.
 
         Online-corrected — the cumulative measured/predicted ratio over
-        finished items — falling back to the constructor prior before
-        anything has finished.
+        finished items, plus the in-flight item's reported fraction and
+        elapsed time when the batched kernel feeds :meth:`item_progress`
+        — falling back to the constructor prior before anything has
+        finished.
         """
-        if self._done_cost > 0:
-            return self._done_seconds / self._done_cost
+        partial = self._partial_cost()
+        if self._done_cost + partial > 0:
+            seconds = self._done_seconds
+            if partial > 0:
+                seconds += max(0.0, self.clock() - self._current_started_at)
+            return seconds / (self._done_cost + partial)
         return self.prior_seconds_per_cost
 
     def eta_seconds(self) -> float | None:
@@ -180,15 +215,15 @@ class ProgressReporter:
             self._costs[label]
             for label in self._order
             if label not in self._done
-        )
-        return remaining * rate
+        ) - self._partial_cost()
+        return max(0.0, remaining) * rate
 
     def snapshot(self) -> ProgressSnapshot:
         """Freeze the current state (tests and embedders read this)."""
         return ProgressSnapshot(
             done_items=len(self._done),
             total_items=len(self._order),
-            done_cost=self._done_cost,
+            done_cost=self._done_cost + self._partial_cost(),
             total_cost=sum(self._costs.values()),
             elapsed_seconds=max(0.0, self.clock() - self._started_at),
             eta_seconds=self.eta_seconds(),

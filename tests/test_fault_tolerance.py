@@ -45,6 +45,7 @@ from repro.errors import RunDeadlineExceeded
 from repro.morph.session import MorphingSession
 from repro.observe.progress import ProgressReporter
 from repro.testing import InjectedWorkerCrash
+from repro.testing.oracle import assert_matches_oracle, results_equal
 
 ENGINES = ("peregrine", "autozero", "graphpi", "bigjoin", "sumpa")
 AGGREGATIONS = (
@@ -56,21 +57,6 @@ AGGREGATIONS = (
 
 #: Retries without wall-clock cost: backoff computed but never slept.
 NOSLEEP = RetryPolicy(max_retries=3, backoff_seconds=0.0, sleep=lambda _s: None)
-
-
-def same(a, b) -> bool:
-    """Byte-identical result dictionaries, keyed canonically.
-
-    Values must match byte-for-byte (MNI tables, ordered match lists);
-    key *insertion* order is canonicalized first, because engine-native
-    batched paths and the per-query fault-tolerant conversion emit the
-    same mapping in different orders.
-    """
-
-    def canon(d):
-        return pickle.dumps(sorted(d.items(), key=lambda kv: repr(kv[0])))
-
-    return canon(a) == canon(b)
 
 
 # -- policy / deadline / plan units -------------------------------------------
@@ -199,43 +185,36 @@ class TestCrashRetryMatrix:
     ):
         """Crashes on ≤2 shards, retried, must be byte-identical to the
         fault-free oracle — every engine, every aggregation."""
-        oracle = repro.run(small_graph, [TRIANGLE], engine, aggregation=agg_cls())
-        faulty = repro.run(
+        assert_matches_oracle(
             small_graph,
-            [TRIANGLE],
+            TRIANGLE,
             engine,
-            aggregation=agg_cls(),
+            agg_cls,
             faults=FaultPlan.crashes([0, 2]),
             retry=NOSLEEP,
         )
-        assert not isinstance(faulty, PartialRunResult)
-        assert same(faulty.results, oracle.results)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_multi_query_morphed_run_survives_crashes(self, small_graph, engine):
         queries = [TRIANGLE, TAILED_TRIANGLE.vertex_induced(), FOUR_CYCLE]
-        oracle = repro.run(small_graph, queries, engine)
-        faulty = repro.run(
+        assert_matches_oracle(
             small_graph,
             queries,
             engine,
             faults=FaultPlan.crashes([1, 3], times=2),
             retry=NOSLEEP,
         )
-        assert same(faulty.results, oracle.results)
 
     def test_seeded_random_plan_converges(self, small_graph):
         """Property-style: a seed-derived crash/slow plan still matches."""
-        oracle = repro.run(small_graph, [TRIANGLE, FOUR_CYCLE], "peregrine")
         plan = FaultPlan.random(8, seed=11, p_fault=0.5, kinds=("crash",))
-        faulty = repro.run(
+        assert_matches_oracle(
             small_graph,
             [TRIANGLE, FOUR_CYCLE],
             "peregrine",
             faults=plan,
             retry=NOSLEEP,
         )
-        assert same(faulty.results, oracle.results)
 
     def test_retry_emits_spans_and_progress_events(self, small_graph):
         tracer = Tracer()
@@ -282,7 +261,7 @@ class TestCrashRetryMatrix:
             faults=FaultPlan({0: FaultSpec("corrupt", times=None, delta=1)}),
         )
         assert corrupted.results[TRIANGLE] == oracle.results[TRIANGLE] + 1
-        assert not same(corrupted.results, oracle.results)
+        assert not results_equal(corrupted.results, oracle.results)
 
 
 # -- deadlines: degrade, never hang -------------------------------------------
@@ -322,12 +301,9 @@ class TestRunDeadline:
             )
 
     def test_generous_deadline_changes_nothing(self, small_graph):
-        oracle = repro.run(small_graph, [TRIANGLE, FOUR_CYCLE])
-        timed = repro.run(
+        assert_matches_oracle(
             small_graph, [TRIANGLE, FOUR_CYCLE], deadline_seconds=600.0
         )
-        assert not isinstance(timed, PartialRunResult)
-        assert same(timed.results, oracle.results)
 
 
 # -- checkpoint / resume ------------------------------------------------------
@@ -430,7 +406,7 @@ class TestResume:
         tracer = Tracer()
         resumed = repro.run(small_graph, queries, checkpoint=path, trace=tracer)
         assert not isinstance(resumed, PartialRunResult)
-        assert same(resumed.results, oracle.results)
+        assert results_equal(resumed.results, oracle.results)
         skipped = resumed.trace.find("shard.checkpoint")
         assert len(skipped) == journaled, (
             "every journaled shard must be skipped, visibly, on resume"
@@ -456,15 +432,13 @@ class TestResume:
         oracle = repro.run(small_graph, [TRIANGLE])
         tracer = Tracer()
         resumed = repro.run(small_graph, [TRIANGLE], checkpoint=path, trace=tracer)
-        assert same(resumed.results, oracle.results)
+        assert results_equal(resumed.results, oracle.results)
         assert resumed.trace.find("shard.checkpoint")
 
     def test_checkpoint_run_equals_plain_run(self, small_graph, tmp_path):
-        oracle = repro.run(small_graph, [TRIANGLE])
-        fresh = repro.run(
-            small_graph, [TRIANGLE], checkpoint=tmp_path / "fresh.jsonl"
+        assert_matches_oracle(
+            small_graph, TRIANGLE, checkpoint=tmp_path / "fresh.jsonl"
         )
-        assert same(fresh.results, oracle.results)
 
 
 # -- the real process pool ----------------------------------------------------
@@ -474,36 +448,29 @@ class TestProcessPoolRecovery:
     def test_worker_os_exit_is_retried(self, small_graph):
         """An os._exit(13) in a pool worker breaks the pool; the recovery
         layer rebuilds it and the retried run matches the oracle."""
-        oracle = repro.run(small_graph, [TRIANGLE])
-        tracer = Tracer()
-        survived = repro.run(
+        survived, _oracle = assert_matches_oracle(
             small_graph,
-            [TRIANGLE],
+            TRIANGLE,
             workers=2,
             faults=FaultPlan.crashes([1]),
             retry=NOSLEEP,
-            trace=tracer,
+            tracer=Tracer(),
         )
-        assert not isinstance(survived, PartialRunResult)
-        assert same(survived.results, oracle.results)
         assert survived.trace.find("shard.retry")
 
     def test_pool_poisoning_shard_recovered_in_process(self, small_graph):
         """A shard that keeps killing workers is recovered in the parent
         once its pool budget is spent — the run still completes."""
-        oracle = repro.run(small_graph, [TRIANGLE])
-        tracer = Tracer()
-        survived = repro.run(
+        survived, _oracle = assert_matches_oracle(
             small_graph,
-            [TRIANGLE],
+            TRIANGLE,
             workers=2,
             # Crashes attempts 0 and 1; the in-process fallback runs at
             # attempt 2 and goes through clean.
             faults=FaultPlan({1: FaultSpec("crash", times=2)}),
             retry=RetryPolicy(max_retries=1, sleep=lambda _s: None),
-            trace=tracer,
+            tracer=Tracer(),
         )
-        assert same(survived.results, oracle.results)
         fallbacks = survived.trace.find("shard.fallback")
         assert fallbacks and fallbacks[0].attributes["shard"] == 1
 

@@ -43,6 +43,7 @@ from repro.engines.sumpa.engine import SumPAEngine
 from repro.graph.datagraph import DataGraph
 from repro.graph.partition import shard_by_degree_prefix
 from repro.morph.session import MorphingSession
+from repro.testing.oracle import assert_matches_oracle
 
 from .oracle import brute_force_count
 from .strategies import data_graphs, shard_counts
@@ -158,13 +159,15 @@ class TestSessionParallelDifferential:
     @settings(max_examples=5, deadline=None)
     def test_counts_match_serial_and_oracle(self, engine_cls, graph, num_shards):
         for enabled in (False, True):
-            serial = MorphingSession(engine_cls(), enabled=enabled).run(
-                graph, QUERIES
+            _parallel, serial = assert_matches_oracle(
+                graph,
+                QUERIES,
+                engine_cls,
+                oracle_kwargs={"enabled": enabled},
+                enabled=enabled,
+                workers=4,
+                executor="serial",
             )
-            parallel = MorphingSession(
-                engine_cls(), enabled=enabled, workers=4, executor="serial"
-            ).run(graph, QUERIES)
-            assert parallel.results == serial.results
             for pattern in QUERIES:
                 assert serial.results[pattern] == brute_force_count(graph, pattern)
 
@@ -172,17 +175,16 @@ class TestSessionParallelDifferential:
     @settings(max_examples=4, deadline=None)
     def test_mni_matches_serial(self, engine_cls, graph):
         for enabled in (False, True):
-            serial = MorphingSession(
-                engine_cls(), aggregation=MNIAggregation(), enabled=enabled
-            ).run(graph, QUERIES)
-            parallel = MorphingSession(
-                engine_cls(),
-                aggregation=MNIAggregation(),
+            assert_matches_oracle(
+                graph,
+                QUERIES,
+                engine_cls,
+                MNIAggregation,
+                oracle_kwargs={"enabled": enabled},
                 enabled=enabled,
                 workers=4,
                 executor="serial",
-            ).run(graph, QUERIES)
-            assert parallel.results == serial.results
+            )
 
 
 class TestStreamingParallel:
