@@ -21,9 +21,10 @@ Public API quick tour — one call does the whole pipeline::
 
 ``repro.run`` accepts an engine name (``"peregrine"``, ``"autozero"``,
 ``"graphpi"``, ``"bigjoin"``, ``"sumpa"``), keyword-only config
-(``aggregation``, ``morph``, ``workers``, ``margin``, ``cache``,
-``trace``, ``progress``, plus fault tolerance: ``deadline_seconds``,
-``checkpoint``, ``retry``, ``faults``) and returns a
+(``aggregation``, ``morph``, ``strategy``, ``workers``, ``margin``,
+``cache``, ``plan_cache``, ``trace``, ``progress``, plus fault
+tolerance: ``deadline_seconds``, ``checkpoint``, ``retry``, ``faults``)
+and returns a
 :class:`MorphRunResult`. Failures surface through the typed
 :class:`ReproError` hierarchy; deadline-degraded runs return
 :class:`PartialRunResult` (completed aggregates + coverage fraction),
@@ -82,7 +83,8 @@ from repro.engines.graphpi.engine import GraphPiEngine
 from repro.engines.peregrine.engine import PeregrineEngine
 from repro.engines.sumpa.engine import SumPAEngine
 from repro.graph.datagraph import DataGraph
-from repro.morph.cache import MeasurementCache
+from repro.morph.cache import MeasurementCache, PlanCache
+from repro.plan import RewritePlan, search_plan
 from repro.morph.session import (
     MorphingSession,
     MorphRunResult,
@@ -137,10 +139,12 @@ __all__ = [
     "PartialRunResult",
     "Pattern",
     "PeregrineEngine",
+    "PlanCache",
     "ProgressReporter",
     "ProgressSnapshot",
     "ReproError",
     "RetryPolicy",
+    "RewritePlan",
     "RunDeadlineExceeded",
     "RunTrace",
     "SDag",
@@ -165,6 +169,7 @@ __all__ = [
     "pattern_name",
     "resolve_engine",
     "run",
+    "search_plan",
     "select_alternative_patterns",
     "solve_query",
     "write_chrome_trace",

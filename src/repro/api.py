@@ -27,7 +27,7 @@ from repro.engines.graphpi.engine import GraphPiEngine
 from repro.engines.peregrine.engine import PeregrineEngine
 from repro.engines.sumpa.engine import SumPAEngine
 from repro.graph.datagraph import DataGraph
-from repro.morph.cache import MeasurementCache
+from repro.morph.cache import MeasurementCache, PlanCache
 from repro.morph.session import MorphingSession, MorphRunResult
 from repro.observe.export import write_jsonl
 from repro.observe.progress import ProgressReporter
@@ -76,9 +76,11 @@ def run(
     *,
     aggregation: Aggregation | None = None,
     morph: bool = True,
+    strategy: str = "auto",
     workers: int = 1,
     margin: float = 0.6,
     cache: MeasurementCache | None = None,
+    plan_cache: PlanCache | None = None,
     trace: Any = None,
     progress: ProgressReporter | bool | None = None,
     batch_roots: int | None = None,
@@ -106,6 +108,14 @@ def run(
     morph:
         ``False`` runs the baseline path (the unmodified engine on the
         queries as given) — both paths return identical results.
+    strategy:
+        Rewrite strategy for the planner search (``"auto"``,
+        ``"direct"``, ``"morph"``, ``"decompose"`` — see
+        :func:`repro.plan.search.search_plan`). ``"auto"`` (default)
+        runs Algorithm 1 and then lets direct matching and IEP
+        decomposition compete per measured item under the cost model.
+        Every strategy returns identical results; only the work done to
+        obtain them differs.
     workers:
         Shard-parallel worker processes (>1 fans each pattern over
         degree-balanced root-vertex shards; results stay identical).
@@ -114,6 +124,11 @@ def run(
         :class:`repro.MorphingSession`).
     cache:
         Optional :class:`repro.MeasurementCache` reused across runs.
+    plan_cache:
+        Optional :class:`repro.PlanCache` memoizing the planner search
+        itself across runs (keyed by graph fingerprint, queries,
+        aggregation, engine, strategy and margin); hits skip Algorithm 1
+        entirely and report as ``plan.cache.hit`` metrics when traced.
     trace:
         ``None`` (default, zero telemetry overhead), a
         :class:`repro.Tracer` to record into, or a path — the structured
@@ -184,8 +199,10 @@ def run(
         resolve_engine(engine),
         aggregation=aggregation,
         enabled=morph,
+        strategy=strategy,
         margin=margin,
         cache=cache,
+        plan_cache=plan_cache,
         workers=workers,
         tracer=tracer,
         progress=reporter,

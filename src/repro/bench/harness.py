@@ -115,6 +115,7 @@ def compare_workload(
     workers: int = 1,
     trace: bool = False,
     batch_roots: int | None = None,
+    strategy: str = "auto",
 ) -> ComparisonRow:
     """Run one workload with and without morphing; assert equal results.
 
@@ -126,7 +127,9 @@ def compare_workload(
     ``trace=True`` traces the morphed run (spans + metrics + cost-model
     audits) and attaches the :class:`RunTrace` as ``row.morphed_trace``;
     the per-stage columns are populated either way from the run's own
-    phase timers.
+    phase timers. ``strategy`` picks the morphed session's rewrite
+    strategy (the baseline side never rewrites); equality is asserted
+    for every strategy alike.
     """
     baseline_session = MorphingSession(
         engine_factory(),
@@ -139,6 +142,7 @@ def compare_workload(
         engine_factory(),
         aggregation=aggregation,
         enabled=True,
+        strategy=strategy,
         workers=workers,
         tracer=Tracer() if trace else None,
         batch_roots=batch_roots,

@@ -104,6 +104,21 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_strategy(parser: argparse.ArgumentParser) -> None:
+    """Only on subcommands that run through ``repro.run``."""
+    from repro.plan.search import STRATEGIES
+
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="auto",
+        help="rewrite strategy: auto (cost-driven rule competition, the "
+        "default), morph (Algorithm 1 only), decompose (force IEP "
+        "decomposition wherever legal), direct (no rewriting) — "
+        "identical results either way",
+    )
+
+
 def _add_batch_roots(parser: argparse.ArgumentParser) -> None:
     """Only on subcommands that run through ``repro.run``."""
     parser.add_argument(
@@ -188,6 +203,7 @@ def cmd_count(args) -> int:
         patterns,
         args.engine,
         morph=not args.no_morph,
+        strategy=args.strategy,
         workers=args.workers,
         trace=args.trace,
         progress=args.progress,
@@ -210,6 +226,7 @@ def cmd_motifs(args) -> int:
         list(motif_patterns(args.size)),
         args.engine,
         morph=not args.no_morph,
+        strategy=args.strategy,
         workers=args.workers,
         trace=args.trace,
         progress=args.progress,
@@ -379,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
     count = sub.add_parser("count", help="count pattern matches")
     _add_common(count)
     _add_workers(count)
+    _add_strategy(count)
     _add_batch_roots(count)
     _add_trace(count)
     _add_fault_tolerance(count)
@@ -389,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     motifs = sub.add_parser("motifs", help="motif counting")
     _add_common(motifs)
     _add_workers(motifs)
+    _add_strategy(motifs)
     _add_batch_roots(motifs)
     _add_trace(motifs)
     _add_fault_tolerance(motifs)

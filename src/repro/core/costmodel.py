@@ -156,6 +156,21 @@ class EngineCostProfile:
     #: Per anti-edge existence probe in a Filter UDF.
     filter_check_weight: float = 0.4
     native_anti_edges: bool = True
+    #: Wall seconds one abstract cost unit corresponds to on this
+    #: engine. Only converts units to seconds (ETAs, cross-engine
+    #: comparisons); within-engine *rankings* — everything Algorithm 1
+    #: decides — are scale-invariant in it. Calibrated per engine by
+    #: ``tools/calibrate_costmodel.py`` from stored cost audits.
+    unit_seconds: float = 4e-6
+    #: Cost units per interpreted planner-side operation (the Decompose
+    #: rule's per-match candidate builds and IEP terms run in Python,
+    #: not in the engine kernel, so they are priced separately). The
+    #: candidate builds and IEP block intersections are vectorized numpy
+    #: set-ops, so one planner op prices at ~1.5 engine cost units —
+    #: measured ~1.2 on power-law graphs (a 5-star decomposition runs
+    #: 2-10x faster than direct), kept slightly above measurement so the
+    #: margin gate stays conservative.
+    python_op_weight: float = 1.5
 
 
 class CostModel:

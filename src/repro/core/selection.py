@@ -1,67 +1,36 @@
 """Alternative pattern set selection — Algorithm 1 (Section 5.2).
 
-Given the query patterns' S-DAG and a cost model, the greedy algorithm
-starts from the query set and repeatedly replaces subsets of some
-pattern's children with the union of their superpattern closures whenever
-the closures are (currently) cheaper, re-weighting selected patterns to
-zero so overlapping alternatives become free. It terminates when a full
-pass makes no replacement.
-
-The aggregation's invertibility restricts which variants are legal
-(DESIGN.md §6): counting may measure any variant mix; non-invertible
-aggregations must measure vertex-induced alternatives (Eq. 1's union
-direction) and may not morph vertex-induced queries at all.
-
-After convergence the measured set is pruned to the items actually used
-by some query's conversion, so the engine never matches dead patterns.
+Compatibility facade. The greedy itself moved to
+:mod:`repro.plan.search`, where it is one rewrite rule
+(``SuperpatternMorph``) inside the planner's cost-driven search;
+:func:`select_alternative_patterns` is now a thin wrapper kept so
+existing callers and tests work unchanged. New code should call
+:func:`repro.plan.search.search_plan`, which additionally lets direct
+matching and IEP decomposition compete for each measured item.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from itertools import combinations
-
-from repro.core.aggregation import Aggregation, CountAggregation
-from repro.core.canonical import pattern_id
+from repro.core.aggregation import Aggregation
 from repro.core.costmodel import CostModel
-from repro.core.equations import (
-    Item,
-    UnderivableError,
-    item_of,
-    normalize_item,
-    solve_query,
-)
-from repro.core.generation import superpattern_closure
 from repro.core.pattern import Pattern
-from repro.core.sdag import EDGE_INDUCED, VERTEX_INDUCED, SDag
+from repro.core.sdag import SDag
+from repro.plan.search import (
+    MAX_SUBSET_CHILDREN as _MAX_SUBSET_CHILDREN,
+)
+from repro.plan.search import (
+    PlanTruncationWarning,
+    SelectionResult,
+    legal_variants,
+    morph_greedy,
+)
 
-#: Safety cap on the per-parent child subsets Algorithm 1 examines.
-_MAX_SUBSET_CHILDREN = 12
-
-
-@dataclass
-class SelectionResult:
-    """Outcome of Algorithm 1 plus the conversion bookkeeping."""
-
-    #: Items the matching engine must measure.
-    measured: frozenset[Item]
-    #: Query pattern -> item describing its own direct measurement.
-    query_items: dict[Pattern, Item]
-    #: Query pattern -> True when its result comes from alternatives.
-    morphed: dict[Pattern, bool]
-    #: Estimated cost of the selected set and of the unmorphed query set.
-    estimated_cost: float = 0.0
-    estimated_query_cost: float = 0.0
-    rounds: int = 0
-    #: All per-item costs considered (for introspection / Fig. 15e).
-    item_costs: dict[Item, float] = field(default_factory=dict)
-
-
-def legal_variants(aggregation: Aggregation) -> tuple[str, ...]:
-    """Variants an alternative pattern may take under this aggregation."""
-    if aggregation.invertible:
-        return (EDGE_INDUCED, VERTEX_INDUCED)
-    return (VERTEX_INDUCED,)
+__all__ = [
+    "PlanTruncationWarning",
+    "SelectionResult",
+    "legal_variants",
+    "select_alternative_patterns",
+]
 
 
 def select_alternative_patterns(
@@ -79,143 +48,6 @@ def select_alternative_patterns(
     worse than no morph (the paper's §7.5 observation that several
     alternative sets underperform the query set).
     """
-    aggregation = aggregation or CountAggregation()
-    sdag = sdag or SDag.build(queries)
-    variants = legal_variants(aggregation)
-
-    # -- initializePatternCosts -------------------------------------------
-    item_costs: dict[Item, float] = {}
-    best_item: dict[int, Item] = {}
-    for node in sdag:
-        best = None
-        for variant in (EDGE_INDUCED, VERTEX_INDUCED):
-            item = normalize_item(node.skel, variant)
-            if item in item_costs:
-                continue
-            item_costs[item] = cost_model.pattern_cost(*item)
-        for variant in variants:
-            item = normalize_item(node.skel, variant)
-            if best is None or item_costs[item] < item_costs[best]:
-                best = item
-        assert best is not None
-        best_item[node.id] = best
-        node.cost = {
-            EDGE_INDUCED: item_costs[normalize_item(node.skel, EDGE_INDUCED)],
-            VERTEX_INDUCED: item_costs[normalize_item(node.skel, VERTEX_INDUCED)],
-        }
-        node.effective_cost = item_costs[best]
-        node.best_variant = best[1]
-
-    query_items = {q: item_of(q) for q in queries}
-    morphable = {
-        q: aggregation.invertible or query_items[q][1] == EDGE_INDUCED
-        for q in queries
-    }
-
-    selected: set[Item] = {query_items[q] for q in queries}
-    for item in selected:
-        item_costs.setdefault(item, cost_model.pattern_cost(*item))
-    initial_query_cost = sum(item_costs[query_items[q]] for q in queries)
-
-    def closure_items(item: Item) -> frozenset[Item]:
-        """The superpattern-closure measurement replacing ``item``.
-
-        Every node of the item's closure (including its own) contributes
-        its cheapest *legal* variant; the item's own slot thereby flips to
-        whichever semantics the cost model prefers (Eq. 1 in either
-        direction for counting, the V-union direction otherwise).
-        """
-        skel, _variant = item
-        return frozenset(
-            best_item[pattern_id(sup)] for sup in superpattern_closure(skel)
-        )
-
-    unmorphable_items = {query_items[q] for q in queries if not morphable[q]}
-
-    # -- selectPatterns ------------------------------------------------------
-    # The paper's greedy re-weights selected patterns to zero cost; here
-    # that re-weighting is realized through set membership (an item already
-    # in S costs nothing extra, a removed item saves its full cost), which
-    # keeps the total measured cost strictly decreasing and guarantees
-    # convergence.
-    rounds = 0
-    changed = True
-    while changed and rounds < 64:
-        changed = False
-        rounds += 1
-        parent_ids: set[int] = set()
-        for item in selected:
-            for parent in sdag.parents(item[0]):
-                parent_ids.add(parent.id)
-        for pid in sorted(parent_ids):
-            parent = sdag.node_by_id(pid)
-            eligible = []
-            for child_id in parent.children:
-                child = sdag.node_by_id(child_id)
-                for variant in (EDGE_INDUCED, VERTEX_INDUCED):
-                    item = normalize_item(child.skel, variant)
-                    if item in selected and item not in unmorphable_items:
-                        eligible.append(item)
-            eligible = sorted(set(eligible), key=repr)[:_MAX_SUBSET_CHILDREN]
-            for size in range(1, len(eligible) + 1):
-                for subset in combinations(eligible, size):
-                    subset_set = set(subset)
-                    if not subset_set <= selected:
-                        continue
-                    replacement: set[Item] = set()
-                    for item in subset:
-                        replacement |= closure_items(item)
-                    new_selected = (selected - subset_set) | replacement
-                    if new_selected == selected:
-                        continue
-                    saved = sum(
-                        item_costs[c] for c in subset_set if c not in replacement
-                    )
-                    added = sum(
-                        item_costs[i] for i in replacement if i not in selected
-                    )
-                    if added < margin * saved:
-                        selected = new_selected
-                        changed = True
-
-    # -- prune to items actually used by conversions -------------------------
-    measured = _prune(queries, query_items, selected, aggregation)
-
-    morphed = {q: query_items[q] not in measured for q in queries}
-    return SelectionResult(
-        measured=frozenset(measured),
-        query_items=query_items,
-        morphed=morphed,
-        estimated_cost=sum(item_costs.get(i, 0.0) for i in measured),
-        estimated_query_cost=initial_query_cost,
-        rounds=rounds,
-        item_costs=item_costs,
+    return morph_greedy(
+        queries, cost_model, aggregation=aggregation, sdag=sdag, margin=margin
     )
-
-
-def _prune(
-    queries: list[Pattern],
-    query_items: dict[Pattern, Item],
-    selected: set[Item],
-    aggregation: Aggregation,
-) -> set[Item]:
-    """Keep only the measured items some query's conversion consumes."""
-    needed: set[Item] = set()
-    for q in queries:
-        item = query_items[q]
-        if item in selected:
-            needed.add(item)
-            continue
-        if aggregation.invertible:
-            try:
-                expression = solve_query(item, frozenset(selected))
-            except UnderivableError:
-                # Defensive: fall back to measuring the query directly.
-                needed.add(item)
-                continue
-            needed.update(expression)
-        else:
-            skel, _variant = item
-            for sup in superpattern_closure(skel):
-                needed.add(normalize_item(sup, VERTEX_INDUCED))
-    return needed

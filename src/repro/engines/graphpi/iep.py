@@ -17,13 +17,14 @@ Eligibility for a plan suffix of ``k >= 2`` levels:
   constraint signatures), in which case the ordered IEP count divides by
   ``k!`` — matching what the restrictions would have enumerated.
 
-The ordered-distinct count is the standard permanent-style formula
-
-    D = Σ_{partitions P of the suffix} (-1)^{k - |P|} ·
-        Π_{block B ∈ P} (|B| - 1)! · |⋂_{u ∈ B} C_u|
-
-implemented over set partitions (k is at most a pattern's vertex count,
-so Bell numbers stay tiny).
+The ordered-distinct arithmetic itself is engine-agnostic and now lives
+in :mod:`repro.plan.iep`, where the rewrite planner's ``Decompose`` rule
+uses it to recombine sub-pattern measurements on *any* engine;
+``ordered_distinct_count`` is re-exported here (it is part of this
+module's long-standing surface). What stays engine-side is the
+plan-suffix analysis and execution: eligibility over
+:class:`~repro.engines.plan.PlanLevel` constraints and the counting loop
+over an :class:`~repro.engines.plan.ExplorationPlan`.
 """
 
 from __future__ import annotations
@@ -40,7 +41,13 @@ from repro.engines.base import (
     level_candidates,
 )
 from repro.engines.plan import ExplorationPlan, PlanLevel
-from repro.engines.setops import exclude, intersect
+from repro.engines.setops import exclude
+from repro.plan.iep import ordered_distinct_count, set_partitions
+
+__all__ = ["iep_suffix_length", "ordered_distinct_count", "run_iep_count"]
+
+# Backwards-compatible alias for the pre-planner private name.
+_set_partitions = set_partitions
 
 
 def iep_suffix_length(plan: ExplorationPlan) -> int:
@@ -108,51 +115,6 @@ def _suffix_candidates(
     if prefix_refs:
         cand = exclude(cand, [stack[j] for j in prefix_refs])
     return cand
-
-
-def _set_partitions(items: list[int]):
-    """All set partitions of ``items`` (Bell(k) of them)."""
-    if not items:
-        yield []
-        return
-    first, rest = items[0], items[1:]
-    for partition in _set_partitions(rest):
-        for i in range(len(partition)):
-            yield partition[:i] + [[first] + partition[i]] + partition[i + 1 :]
-        yield [[first]] + partition
-
-
-def ordered_distinct_count(
-    candidate_sets: list[np.ndarray], stats: EngineStats
-) -> int:
-    """Ordered assignments of distinct vertices, one from each set."""
-    k = len(candidate_sets)
-    intersections: dict[frozenset[int], np.ndarray] = {}
-
-    def block_set(block: frozenset[int]) -> np.ndarray:
-        cached = intersections.get(block)
-        if cached is not None:
-            return cached
-        members = sorted(block)
-        current = candidate_sets[members[0]]
-        for m in members[1:]:
-            current = intersect(current, candidate_sets[m], stats.setops)
-        intersections[block] = current
-        return current
-
-    total = 0
-    for partition in _set_partitions(list(range(k))):
-        term = 1
-        for block in partition:
-            size = len(block_set(frozenset(block)))
-            if size == 0:
-                term = 0
-                break
-            term *= factorial(len(block) - 1) * size
-        if term:
-            sign = -1 if (k - len(partition)) % 2 else 1
-            total += sign * term
-    return total
 
 
 def run_iep_count(

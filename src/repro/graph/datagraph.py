@@ -192,6 +192,26 @@ class DataGraph:
     # -- basic queries ---------------------------------------------------
 
     @cached_property
+    def fingerprint(self) -> str:
+        """Stable content hash of the CSR arrays (and labels).
+
+        Two graphs with identical structure and labels share a
+        fingerprint even across processes — unlike ``id(graph)``, so
+        it can key persistent caches (the planner's
+        :class:`repro.PlanCache`). Computed once per graph.
+        """
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.int64(self.num_vertices).tobytes())
+        digest.update(self._indptr.tobytes())
+        digest.update(self._indices.tobytes())
+        if self.labels is not None:
+            digest.update(b"L")
+            digest.update(self.labels.tobytes())
+        return digest.hexdigest()
+
+    @cached_property
     def _rows(self) -> list[np.ndarray]:
         """Per-vertex zero-copy views into ``indices``, built once.
 

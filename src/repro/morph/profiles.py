@@ -12,6 +12,11 @@ operation costs. Profiles below reflect each substrate's structure:
 * GraphPi: no anti-edges; Filter-UDF checks are branchy and expensive.
 * BigJoin: no anti-edges; materializes every level, so materialization
   and per-tuple costs are high.
+* SumPA: generic operation weights; listed for its calibrated clock.
+
+Each profile's ``unit_seconds`` (cost units → wall seconds, used by
+ETAs and the planner's python-op pricing, never by within-engine
+rankings) comes from ``tools/calibrate_costmodel.py --run-suite``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.engines.base import MiningEngine
 
 PEREGRINE_PROFILE = EngineCostProfile(
     name="peregrine",
+    unit_seconds=2.3e-6,  # tools/calibrate_costmodel.py --run-suite
     intersection_weight=2.0,
     difference_weight=2.5,
     materialize_weight=1.5,
@@ -30,6 +36,7 @@ PEREGRINE_PROFILE = EngineCostProfile(
 
 AUTOZERO_PROFILE = EngineCostProfile(
     name="autozero",
+    unit_seconds=2.7e-6,  # tools/calibrate_costmodel.py --run-suite
     intersection_weight=1.2,  # merged schedules share loop prefixes
     difference_weight=1.8,
     materialize_weight=1.5,
@@ -39,6 +46,7 @@ AUTOZERO_PROFILE = EngineCostProfile(
 
 GRAPHPI_PROFILE = EngineCostProfile(
     name="graphpi",
+    unit_seconds=2.3e-6,  # tools/calibrate_costmodel.py --run-suite
     intersection_weight=1.8,  # model-selected orders shave set-op work
     difference_weight=2.3,
     materialize_weight=1.5,
@@ -49,6 +57,7 @@ GRAPHPI_PROFILE = EngineCostProfile(
 
 BIGJOIN_PROFILE = EngineCostProfile(
     name="bigjoin",
+    unit_seconds=2.4e-6,  # tools/calibrate_costmodel.py --run-suite
     intersection_weight=2.0,
     difference_weight=2.5,
     materialize_weight=2.5,  # per-level binding materialization
@@ -57,9 +66,21 @@ BIGJOIN_PROFILE = EngineCostProfile(
     native_anti_edges=False,
 )
 
+SUMPA_PROFILE = EngineCostProfile(
+    name="sumpa",
+    unit_seconds=2.5e-6,  # tools/calibrate_costmodel.py --run-suite
+    native_anti_edges=True,
+)
+
 _BY_NAME = {
     p.name: p
-    for p in (PEREGRINE_PROFILE, AUTOZERO_PROFILE, GRAPHPI_PROFILE, BIGJOIN_PROFILE)
+    for p in (
+        PEREGRINE_PROFILE,
+        AUTOZERO_PROFILE,
+        GRAPHPI_PROFILE,
+        BIGJOIN_PROFILE,
+        SUMPA_PROFILE,
+    )
 }
 
 

@@ -64,6 +64,9 @@ from repro.observe.audit import CostAuditRecord
 from repro.observe.export import RunTrace
 from repro.observe.progress import ProgressReporter
 from repro.observe.tracer import Tracer, timed_span
+from repro.plan.rewrite import DecomposeStep, RewritePlan
+from repro.plan.rules import decompose_count
+from repro.plan.search import STRATEGIES, search_plan
 
 
 def _item_label(item: Item) -> str:
@@ -81,6 +84,8 @@ class MorphRunResult:
     morphing_enabled: bool
     measured: frozenset[Item] = field(default_factory=frozenset)
     selection: SelectionResult | None = None
+    #: The executed :class:`repro.plan.RewritePlan` (morphed runs only).
+    plan: RewritePlan | None = None
     transform_seconds: float = 0.0
     match_seconds: float = 0.0
     convert_seconds: float = 0.0
@@ -148,8 +153,10 @@ class MorphingSession:
         *args: Any,
         aggregation: Aggregation | None = None,
         enabled: bool = True,
+        strategy: str = "auto",
         margin: float = 0.6,
         cache: "MeasurementCache | None" = None,
+        plan_cache: "PlanCache | None" = None,
         workers: int = 1,
         executor=None,
         tracer: Tracer | None = None,
@@ -169,6 +176,18 @@ class MorphingSession:
         (useful to reproduce the paper's blind-morphing comparison,
         §7.5). ``cache`` optionally memoizes measured alternative values
         across runs on the same graph (FSM levels share superpatterns).
+
+        ``strategy`` picks the batched-mode rewrite strategy (see
+        :func:`repro.plan.search.search_plan`): ``"auto"`` (default)
+        lets direct matching and IEP decomposition compete per measured
+        item under the cost model, ``"morph"`` is Algorithm 1 exactly,
+        ``"decompose"`` forces decomposition wherever legal, and
+        ``"direct"`` disables rewriting while keeping the session's
+        bookkeeping. Streaming runs always use Algorithm 1 (a
+        decomposition produces arithmetic, not a match stream).
+        ``plan_cache`` (a :class:`repro.PlanCache`) memoizes the entire
+        search result across runs keyed by graph fingerprint, queries,
+        aggregation, engine and strategy.
 
         ``workers`` enables the shard-parallel execution layer: with
         ``workers > 1`` every pattern's matching fans out over
@@ -228,11 +247,17 @@ class MorphingSession:
             cache = overrides.get("cache", cache)
             workers = overrides.get("workers", workers)
             executor = overrides.get("executor", executor)
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
         self.engine = engine
         self.aggregation = aggregation or CountAggregation()
         self.enabled = enabled
+        self.strategy = strategy
         self.margin = margin
         self.cache = cache
+        self.plan_cache = plan_cache
         self.workers = workers
         self.executor = executor
         self.tracer = tracer
@@ -451,6 +476,7 @@ class MorphingSession:
         item_seconds: dict[Item, float],
         store: dict[Item, Any] | None,
         cached_items: set[Item],
+        plan: RewritePlan | None = None,
     ) -> None:
         """One audit record per measured item, plus the set summary."""
         tracer = self.tracer
@@ -459,19 +485,31 @@ class MorphingSession:
         for item in sorted(selection.measured, key=repr):
             skel, variant = item
             value = store.get(item) if store is not None else None
+            extra = {}
+            predicted = selection.item_costs.get(
+                item, cost_model.pattern_cost(skel, variant)
+            )
+            if plan is not None:
+                step = plan.step_for(item)
+                if step.rule != "direct":
+                    # Audit the step the planner actually executed: a
+                    # decomposed item's measurement is the decomposition's
+                    # wall time, so pairing it with the direct cost would
+                    # poison the unit_seconds fit and the rank score.
+                    extra["rule"] = step.rule
+                    predicted = step.predicted_cost
             tracer.audit(
                 CostAuditRecord(
                     item=_item_label(item),
                     pattern_id=_pattern_id(skel),
                     variant=variant,
                     role="query" if item in query_items else "alternative",
-                    predicted_cost=selection.item_costs.get(
-                        item, cost_model.pattern_cost(skel, variant)
-                    ),
+                    predicted_cost=predicted,
                     measured_seconds=item_seconds.get(item, 0.0),
                     predicted_matches=cost_model.estimated_matches(skel, variant),
                     measured_matches=value if isinstance(value, int) else None,
                     cached=item in cached_items,
+                    extra=extra,
                 )
             )
         tracer.audit(
@@ -510,6 +548,21 @@ class MorphingSession:
             return self._count_set(graph, [pattern], exec_)[pattern]
         return self._aggregate_one(graph, pattern, exec_)
 
+    def _execute_decompose(self, graph, step: DecomposeStep, exec_) -> int:
+        """Execute one decompose step: stream the prefix, IEP the rest.
+
+        The prefix streams through :meth:`_explore`, so shards, retries
+        and deadlines compose exactly as for a direct measurement.
+        """
+        return decompose_count(
+            graph,
+            step.decomposition,
+            lambda pattern, callback: self._explore(
+                graph, pattern, callback, exec_
+            ),
+            self.engine.stats,
+        )
+
     def _run_batched(
         self, graph: DataGraph, patterns: list[Pattern], exec_
     ) -> MorphRunResult:
@@ -521,18 +574,56 @@ class MorphingSession:
             cost_model = CostModel.for_graph(
                 graph, profile_for(self.engine), self.aggregation
             )
-            with timed_span(tracer, "selection", margin=self.margin) as selection_span:
-                selection = select_alternative_patterns(
-                    patterns, cost_model, self.aggregation, margin=self.margin
+            plan: RewritePlan | None = None
+            if self.plan_cache is not None:
+                plan = self.plan_cache.get(
+                    graph,
+                    patterns,
+                    self.aggregation,
+                    engine=self.engine.name,
+                    strategy=self.strategy,
+                    margin=self.margin,
                 )
-            selection_span.attributes.update(
-                rounds=selection.rounds,
+                if tracer is not None:
+                    tracer.metrics.add(
+                        "plan.cache.hit" if plan is not None else "plan.cache.miss"
+                    )
+            with timed_span(
+                tracer,
+                "plan.search",
+                strategy=self.strategy,
+                cached=plan is not None,
+            ) as search_span:
+                if plan is None:
+                    plan = search_plan(
+                        patterns,
+                        cost_model,
+                        self.aggregation,
+                        strategy=self.strategy,
+                        margin=self.margin,
+                        tracer=tracer,
+                    )
+                    if self.plan_cache is not None:
+                        self.plan_cache.put(
+                            graph,
+                            patterns,
+                            self.aggregation,
+                            plan,
+                            engine=self.engine.name,
+                            strategy=self.strategy,
+                            margin=self.margin,
+                        )
+            selection = plan.selection
+            search_span.attributes.update(
                 measured=len(selection.measured),
-                morphed_queries=sum(selection.morphed.values()),
+                decompose_steps=len(plan.decompose_steps),
+                predicted_cost=plan.predicted_cost,
             )
+            if selection.truncated and tracer is not None:
+                tracer.metrics.add("plan.truncated", len(selection.truncations))
         transform_seconds = transform_span.seconds
 
-        if not any(selection.morphed.values()):
+        if not any(selection.morphed.values()) and not plan.decompose_steps:
             # The cost model declined every morph: run the queries as
             # given (their own numbering and plans), keeping the selection
             # metadata so callers can see the decision.
@@ -548,6 +639,7 @@ class MorphingSession:
                     morphing_enabled=True,
                     measured=selection.measured,
                     selection=selection,
+                    plan=plan,
                     transform_seconds=transform_seconds,
                     match_seconds=baseline.match_seconds,
                     coverage=baseline.coverage,
@@ -562,6 +654,7 @@ class MorphingSession:
                 morphing_enabled=True,
                 measured=selection.measured,
                 selection=selection,
+                plan=plan,
                 transform_seconds=transform_seconds,
                 match_seconds=baseline.match_seconds,
             )
@@ -600,10 +693,22 @@ class MorphingSession:
                 # audit gets a real per-alternative match time. The
                 # fault-tolerant path also trades it away: completion is
                 # tracked per item.
-                concrete = {item: materialize(item) for item in measured_items}
-                counts = self._count_set(graph, list(concrete.values()), exec_)
-                for item, pattern in concrete.items():
-                    store[item] = counts[pattern]
+                concrete = {
+                    item: materialize(item)
+                    for item in measured_items
+                    if not isinstance(plan.step_for(item), DecomposeStep)
+                }
+                if concrete:
+                    counts = self._count_set(
+                        graph, list(concrete.values()), exec_
+                    )
+                    for item, pattern in concrete.items():
+                        store[item] = counts[pattern]
+                for item in measured_items:
+                    if item not in concrete:
+                        store[item] = self._execute_decompose(
+                            graph, plan.step_for(item), exec_
+                        )
             else:
                 if progress is not None:
                     progress.start(
@@ -623,12 +728,21 @@ class MorphingSession:
                         continue
                     if progress is not None:
                         progress.item_started(_item_label(item))
+                    step = plan.step_for(item)
                     with timed_span(
-                        tracer, "match.item", item=_item_label(item)
+                        tracer,
+                        "match.item",
+                        item=_item_label(item),
+                        rule=step.rule,
                     ) as item_span:
-                        store[item] = self._measure_item(
-                            graph, item, exec_, count_mode
-                        )
+                        if isinstance(step, DecomposeStep):
+                            store[item] = self._execute_decompose(
+                                graph, step, exec_
+                            )
+                        else:
+                            store[item] = self._measure_item(
+                                graph, item, exec_, count_mode
+                            )
                     if (
                         control is not None
                         and control.reports
@@ -659,7 +773,7 @@ class MorphingSession:
         )
         with timed_span(tracer, "convert", queries=len(patterns)) as convert_span:
             unresolved: list[Pattern] = []
-            if not interrupted:
+            if not interrupted and tracer is None:
                 if count_mode:
                     results: dict[Pattern, Any] = convert_counts(patterns, store)
                 else:
@@ -667,24 +781,38 @@ class MorphingSession:
                         patterns, store, self.aggregation
                     )
             else:
-                # Per-query conversion: a query survives if the completed
-                # items still determine it (Eq. 1 may need only a subset).
+                # Per-query combine-step execution (one ``plan.step``
+                # span each). On an interrupted run a query survives if
+                # the completed items still determine it (Eq. 1 may need
+                # only a subset).
                 results = {}
-                for query in patterns:
-                    try:
-                        if count_mode:
-                            results[query] = convert_counts([query], store)[query]
-                        else:
-                            results[query] = convert_aggregation_store(
-                                [query], store, self.aggregation
-                            )[query]
-                    except UnderivableError:
-                        unresolved.append(query)
+                for cstep in plan.combine_steps:
+                    query = cstep.query
+                    with timed_span(
+                        tracer,
+                        "plan.step",
+                        kind="combine",
+                        mode=cstep.mode,
+                        query=pattern_name(query),
+                    ):
+                        try:
+                            if count_mode:
+                                results[query] = convert_counts(
+                                    [query], store
+                                )[query]
+                            else:
+                                results[query] = convert_aggregation_store(
+                                    [query], store, self.aggregation
+                                )[query]
+                        except UnderivableError:
+                            if not interrupted:
+                                raise
+                            unresolved.append(query)
         convert_seconds = convert_span.seconds
 
         if tracer is not None:
             self._emit_audits(
-                selection, cost_model, item_seconds, store, cached_items
+                selection, cost_model, item_seconds, store, cached_items, plan
             )
 
         if interrupted:
@@ -694,6 +822,7 @@ class MorphingSession:
                 morphing_enabled=True,
                 measured=selection.measured,
                 selection=selection,
+                plan=plan,
                 transform_seconds=transform_seconds,
                 match_seconds=match_seconds,
                 convert_seconds=convert_seconds,
@@ -709,6 +838,7 @@ class MorphingSession:
             morphing_enabled=True,
             measured=selection.measured,
             selection=selection,
+            plan=plan,
             transform_seconds=transform_seconds,
             match_seconds=match_seconds,
             convert_seconds=convert_seconds,
@@ -1088,6 +1218,7 @@ def compare_baseline_and_morphed(
     workers: int = 1,
     cache: "MeasurementCache | None" = None,
     margin: float = 0.6,
+    strategy: str = "auto",
     tracer: Tracer | None = None,
     batch_roots: int | None = None,
 ) -> tuple[MorphRunResult, MorphRunResult]:
@@ -1106,6 +1237,8 @@ def compare_baseline_and_morphed(
     telemetry the figures need); trace the baseline by running it
     directly with its own session. ``batch_roots`` selects the batched
     frontier kernels on both sides (identical results either way).
+    ``strategy`` picks the morphed side's rewrite strategy (the baseline
+    side never rewrites by definition).
     """
     if args:
         from repro import _compat
@@ -1128,6 +1261,7 @@ def compare_baseline_and_morphed(
         engine_factory(),
         aggregation=aggregation,
         enabled=True,
+        strategy=strategy,
         workers=workers,
         cache=cache,
         margin=margin,

@@ -1,0 +1,84 @@
+"""Engine-agnostic inclusion–exclusion counting arithmetic.
+
+The permanent-style ordered-distinct count used to live inside the
+GraphPi engine (:mod:`repro.engines.graphpi.iep`), which meant only that
+engine could exploit it. The rewrite planner's ``Decompose`` rule needs
+the same arithmetic to recombine sub-pattern measurements on *any*
+engine, so the partition enumeration and the ordered-distinct formula
+live here; the GraphPi module now imports them (its plan-suffix
+eligibility analysis and execution loop stay engine-side, where the
+:class:`~repro.engines.plan.ExplorationPlan` types live).
+
+The core identity: given candidate sets ``C_1 .. C_k``, the number of
+ordered assignments of *pairwise-distinct* vertices, one from each set,
+is
+
+    D = Σ_{partitions P of {1..k}} (-1)^{k - |P|} ·
+        Π_{block B ∈ P} (|B| - 1)! · |⋂_{u ∈ B} C_u|
+
+implemented over set partitions (``k`` is at most a pattern's vertex
+count, so Bell numbers stay tiny).
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Iterator
+
+import numpy as np
+
+from repro.engines.setops import intersect
+
+__all__ = ["ordered_distinct_count", "set_partitions"]
+
+
+def set_partitions(items: list[int]) -> Iterator[list[list[int]]]:
+    """All set partitions of ``items`` (Bell(k) of them)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        for i in range(len(partition)):
+            yield partition[:i] + [[first] + partition[i]] + partition[i + 1 :]
+        yield [[first]] + partition
+
+
+def ordered_distinct_count(
+    candidate_sets: list[np.ndarray], stats
+) -> int:
+    """Ordered assignments of distinct vertices, one from each set.
+
+    ``stats`` is an :class:`~repro.engines.base.EngineStats` (or any
+    object with a ``setops`` counter bundle); the block intersections
+    are counted there like any other kernel set operation. Identical
+    blocks share one cached intersection, so repeated candidate sets —
+    the star-pattern case — cost a single set op.
+    """
+    k = len(candidate_sets)
+    intersections: dict[frozenset[int], np.ndarray] = {}
+
+    def block_set(block: frozenset[int]) -> np.ndarray:
+        cached = intersections.get(block)
+        if cached is not None:
+            return cached
+        members = sorted(block)
+        current = candidate_sets[members[0]]
+        for m in members[1:]:
+            current = intersect(current, candidate_sets[m], stats.setops)
+        intersections[block] = current
+        return current
+
+    total = 0
+    for partition in set_partitions(list(range(k))):
+        term = 1
+        for block in partition:
+            size = len(block_set(frozenset(block)))
+            if size == 0:
+                term = 0
+                break
+            term *= factorial(len(block) - 1) * size
+        if term:
+            sign = -1 if (k - len(partition)) % 2 else 1
+            total += sign * term
+    return total

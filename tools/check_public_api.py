@@ -63,9 +63,10 @@ def lint_module(module) -> list[str]:
 def main() -> int:
     import repro
     import repro.bench
+    import repro.plan
 
     failures: list[str] = []
-    modules = (repro, repro.bench)
+    modules = (repro, repro.bench, repro.plan)
     for module in modules:
         failures.extend(lint_module(module))
 
