@@ -12,19 +12,23 @@ Public API quick tour — one call does the whole pipeline::
 
     # Pick an engine, go parallel, capture a structured trace:
     result = repro.run(graph, repro.motif_patterns(4),
-                       engine="autozero", workers=4, trace="run.jsonl")
+                       options=repro.RunOptions(engine="autozero",
+                                                workers=4, trace="run.jsonl"))
     result.trace.stage_seconds()      # {"transform": ..., "match": ..., ...}
     result.trace.audits               # cost-model predictions vs measurements
 
     # Baseline (no morphing) for comparison — results are identical:
-    baseline = repro.run(graph, repro.motif_patterns(4), morph=False)
+    baseline = repro.run(graph, repro.motif_patterns(4),
+                         options=repro.RunOptions(morph=False))
 
 ``repro.run`` accepts an engine name (``"peregrine"``, ``"autozero"``,
-``"graphpi"``, ``"bigjoin"``, ``"sumpa"``), keyword-only config
-(``aggregation``, ``morph``, ``strategy``, ``workers``, ``margin``,
-``cache``, ``plan_cache``, ``trace``, ``progress``, plus fault
-tolerance: ``deadline_seconds``, ``checkpoint``, ``retry``, ``faults``)
-and returns a
+``"graphpi"``, ``"bigjoin"``, ``"sumpa"``) and one typed
+:class:`RunOptions` carrying the whole configuration (``aggregation``,
+``morph``, ``strategy``, ``workers``, ``margin``, ``cache``,
+``plan_cache``, ``trace``, ``progress``, plus fault tolerance:
+``deadline_seconds``, ``checkpoint``, ``retry``, ``faults``); the
+historical loose keywords keep working for one release through
+warn-once deprecation shims. ``repro.run`` returns a
 :class:`MorphRunResult`. Failures surface through the typed
 :class:`ReproError` hierarchy; deadline-degraded runs return
 :class:`PartialRunResult` (completed aggregates + coverage fraction),
@@ -34,6 +38,12 @@ resume (see ``docs/cookbook.md``, "Surviving failures"). Construct a
 (:meth:`~MorphingSession.run_streaming`) or a caller-owned executor;
 :class:`Tracer` + :class:`repro.observe.RunTrace` are the telemetry
 surface (see ``docs/cookbook.md``, "Profiling a run").
+
+For many queries against the same graphs, run the resident service
+(``repro serve`` / :mod:`repro.serve`): graphs load once, plans and
+results cache across queries, and :func:`repro.connect` returns a
+client whose ``run`` mirrors this module's with identical typed
+results.
 
 Layout: ``repro.core`` is the paper's contribution (patterns, the
 morphing algebra, S-DAG, cost model, selection, result conversion);
@@ -91,6 +101,8 @@ from repro.morph.session import (
     PartialRunResult,
     compare_baseline_and_morphed,
 )
+from repro.options import RunOptions
+from repro.serve.client import connect
 from repro.testing import FaultPlan, FaultSpec
 from repro.observe import (
     CostAuditRecord,
@@ -105,7 +117,7 @@ from repro.observe import (
     write_jsonl,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Aggregation",
@@ -146,6 +158,7 @@ __all__ = [
     "RetryPolicy",
     "RewritePlan",
     "RunDeadlineExceeded",
+    "RunOptions",
     "RunTrace",
     "SDag",
     "ShardCheckpoint",
@@ -159,6 +172,7 @@ __all__ = [
     "are_isomorphic",
     "canonical_form",
     "compare_baseline_and_morphed",
+    "connect",
     "enumerate_alternative_sets",
     "format_pattern",
     "load_trace",

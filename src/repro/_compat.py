@@ -9,6 +9,10 @@ deletes the shim.
 
 Current shims:
 
+* ``repro.run(..., workers=4, trace=...)`` loose configuration keywords
+  — consolidated into the typed :class:`repro.RunOptions` as of 1.2;
+  each legacy keyword is remapped onto the matching ``RunOptions`` field
+  here, warning once **per keyword**.
 * ``MorphingSession(engine, aggregation, ...)`` positional configuration
   arguments — the session's config is keyword-only as of 1.1; positional
   values after ``engine`` are remapped here.
@@ -21,7 +25,25 @@ from __future__ import annotations
 import warnings
 from typing import Any
 
-__all__ = ["positional_config", "warn_once"]
+__all__ = ["positional_config", "run_options_from_kwargs", "warn_once"]
+
+#: The legacy ``repro.run()`` keywords, each now a ``RunOptions`` field.
+RUN_OPTION_KWARGS = (
+    "aggregation",
+    "morph",
+    "strategy",
+    "workers",
+    "margin",
+    "cache",
+    "plan_cache",
+    "trace",
+    "progress",
+    "batch_roots",
+    "deadline_seconds",
+    "checkpoint",
+    "retry",
+    "faults",
+)
 
 #: Shim keys that have already warned in this process.
 _warned: set[str] = set()
@@ -67,3 +89,32 @@ def positional_config(
         stacklevel=4,
     )
     return dict(zip(names, args))
+
+
+def run_options_from_kwargs(options: Any, kwargs: dict[str, Any]) -> Any:
+    """Fold deprecated ``repro.run`` loose keywords into a ``RunOptions``.
+
+    Unknown keywords raise :class:`TypeError` exactly like a normal
+    signature mismatch would; each known legacy keyword warns a
+    :class:`DeprecationWarning` once per process, then is applied onto
+    ``options`` (or fresh defaults) via :meth:`RunOptions.replace` — so
+    the legacy spelling and the ``options=`` spelling take the exact
+    same code path and return byte-identical results.
+    """
+    from repro.options import RunOptions
+
+    unknown = sorted(set(kwargs) - set(RUN_OPTION_KWARGS))
+    if unknown:
+        raise TypeError(
+            f"run() got unexpected keyword argument(s): {', '.join(unknown)}"
+        )
+    for name in sorted(kwargs):
+        warn_once(
+            f"run:{name}",
+            f"repro.run(..., {name}=...) is deprecated and will be removed "
+            f"in the next release; pass options=repro.RunOptions({name}=...) "
+            "instead",
+            stacklevel=5,
+        )
+    base = options if options is not None else RunOptions()
+    return base.replace(**kwargs)

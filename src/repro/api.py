@@ -6,19 +6,22 @@ single function, so the common case reads::
 
     import repro
     result = repro.run(graph, patterns)              # morphed counting
-    result = repro.run(graph, patterns, engine="autozero",
-                       workers=4, trace="run.jsonl")  # traced + parallel
+    result = repro.run(graph, patterns, options=repro.RunOptions(
+        engine="autozero", workers=4, trace="run.jsonl"))
 
-Everything the facade accepts is keyword-only past ``engine``; the
-session class remains available for callers that need streaming mode,
-a caller-owned executor, or engine subclassing.
+Configuration travels in one typed :class:`repro.RunOptions` object —
+also the wire request schema of the resident mining service
+(:mod:`repro.serve`). The historical loose keywords
+(``repro.run(..., workers=4)``) keep working for one release through
+warn-once deprecation shims (:mod:`repro._compat`). The session class
+remains available for callers that need streaming mode, a caller-owned
+executor, or engine subclassing.
 """
 
 from __future__ import annotations
 
 from typing import Any, Sequence
 
-from repro.core.aggregation import Aggregation
 from repro.core.pattern import Pattern
 from repro.engines.autozero.engine import AutoZeroEngine
 from repro.engines.base import MiningEngine
@@ -27,11 +30,9 @@ from repro.engines.graphpi.engine import GraphPiEngine
 from repro.engines.peregrine.engine import PeregrineEngine
 from repro.engines.sumpa.engine import SumPAEngine
 from repro.graph.datagraph import DataGraph
-from repro.morph.cache import MeasurementCache, PlanCache
 from repro.morph.session import MorphingSession, MorphRunResult
 from repro.observe.export import write_jsonl
-from repro.observe.progress import ProgressReporter
-from repro.observe.tracer import Tracer
+from repro.options import RunOptions
 
 __all__ = ["ENGINES", "resolve_engine", "run"]
 
@@ -45,15 +46,43 @@ ENGINES: dict[str, type[MiningEngine]] = {
 }
 
 
-def resolve_engine(engine: str | MiningEngine | type[MiningEngine]) -> MiningEngine:
+def resolve_engine(
+    engine: str | MiningEngine | type[MiningEngine], *, fresh: bool = False
+) -> MiningEngine:
     """Turn an engine spec into a live engine instance.
 
     Accepts a registry name (``"peregrine"``, case-insensitive), a
     :class:`MiningEngine` subclass, or an already-built instance (passed
     through untouched, so callers can pre-configure e.g.
     ``GraphPiEngine.use_iep``).
+
+    **Sharing contract.** An engine instance carries per-run mutable
+    state — ``stats`` accumulate, and the session attaches its
+    ``tracer``/``progress``/``batch_roots`` to the instance for the
+    duration of a run — so one instance must never serve two *concurrent*
+    runs. Reusing an instance across sequential runs is fine (each run
+    resets the stats). An instance that is mid-run (its session marked
+    it busy) is rejected here with :class:`ValueError`; concurrent
+    callers should resolve by name or class so every run gets a fresh
+    instance. ``fresh=True`` (the service path) enforces exactly that:
+    instances are rejected outright and names/classes build a new
+    engine per call.
     """
     if isinstance(engine, MiningEngine):
+        if fresh:
+            raise TypeError(
+                f"{type(engine).__name__} instance rejected: this path "
+                "serves concurrent queries and engine instances carry "
+                "per-run mutable state (stats, tracer, progress); resolve "
+                "by name or class so each query gets a fresh engine"
+            )
+        if getattr(engine, "busy", False):
+            raise ValueError(
+                f"{type(engine).__name__} instance is already mid-run; an "
+                "engine instance carries per-run mutable state (stats, "
+                "tracer, progress) and cannot be shared across concurrent "
+                "runs — resolve by name or class to get a fresh instance"
+            )
         return engine
     if isinstance(engine, type) and issubclass(engine, MiningEngine):
         return engine()
@@ -72,22 +101,10 @@ def resolve_engine(engine: str | MiningEngine | type[MiningEngine]) -> MiningEng
 def run(
     graph: DataGraph,
     patterns: Sequence[Pattern] | Pattern,
-    engine: str | MiningEngine | type[MiningEngine] = "peregrine",
+    engine: str | MiningEngine | type[MiningEngine] | None = None,
     *,
-    aggregation: Aggregation | None = None,
-    morph: bool = True,
-    strategy: str = "auto",
-    workers: int = 1,
-    margin: float = 0.6,
-    cache: MeasurementCache | None = None,
-    plan_cache: PlanCache | None = None,
-    trace: Any = None,
-    progress: ProgressReporter | bool | None = None,
-    batch_roots: int | None = None,
-    deadline_seconds: float | None = None,
-    checkpoint: Any = None,
-    retry: Any = None,
-    faults: Any = None,
+    options: RunOptions | None = None,
+    **deprecated_kwargs: Any,
 ) -> MorphRunResult:
     """Mine ``patterns`` on ``graph`` through the morphing pipeline.
 
@@ -100,74 +117,26 @@ def run(
         The query patterns — a sequence, or a single :class:`Pattern`.
     engine:
         Registry name (``"peregrine"``, ``"autozero"``, ``"graphpi"``,
-        ``"bigjoin"``, ``"sumpa"``), engine class, or instance.
-    aggregation:
-        Output mode; default :class:`repro.CountAggregation`. Counting,
-        existence, MNI-support and match-list aggregations all convert
-        through the morphing algebra.
-    morph:
-        ``False`` runs the baseline path (the unmodified engine on the
-        queries as given) — both paths return identical results.
-    strategy:
-        Rewrite strategy for the planner search (``"auto"``,
-        ``"direct"``, ``"morph"``, ``"decompose"`` — see
-        :func:`repro.plan.search.search_plan`). ``"auto"`` (default)
-        runs Algorithm 1 and then lets direct matching and IEP
-        decomposition compete per measured item under the cost model.
-        Every strategy returns identical results; only the work done to
-        obtain them differs.
-    workers:
-        Shard-parallel worker processes (>1 fans each pattern over
-        degree-balanced root-vertex shards; results stay identical).
-    margin:
-        Algorithm 1's profitability margin (see
-        :class:`repro.MorphingSession`).
-    cache:
-        Optional :class:`repro.MeasurementCache` reused across runs.
-    plan_cache:
-        Optional :class:`repro.PlanCache` memoizing the planner search
-        itself across runs (keyed by graph fingerprint, queries,
-        aggregation, engine, strategy and margin); hits skip Algorithm 1
-        entirely and report as ``plan.cache.hit`` metrics when traced.
-    trace:
-        ``None`` (default, zero telemetry overhead), a
-        :class:`repro.Tracer` to record into, or a path — the structured
-        trace is then also written there as JSONL
-        (:func:`repro.observe.write_jsonl`; load back with
-        :func:`repro.observe.load_trace`). Either way the result's
-        ``trace`` attribute holds the :class:`repro.observe.RunTrace`.
-    progress:
-        ``None`` (default, zero overhead), ``True`` for a live stderr
-        progress line — the ETA starts from Algorithm 1's predicted
-        per-item costs and is corrected online by measured match times —
-        or a :class:`repro.ProgressReporter` to report through (e.g.
-        with a custom stream or a calibration prior).
-    batch_roots:
-        ``None`` (default) runs the engines' per-root DFS kernels. An
-        int switches matching to the vectorized batched-frontier path
-        (:mod:`repro.engines.frontier`): roots expand in chunks of that
-        size through whole-frontier numpy set-ops — typically several
-        times faster on non-trivial graphs — with byte-identical
-        results, composing with ``workers``, tracing, progress and all
-        fault-tolerance options. 2048 is a good starting point (see the
-        cookbook's "Tuning batch size" recipe).
-    deadline_seconds:
-        Wall-clock budget for the whole run. On expiry outstanding
-        shards are cancelled through the shared cancel token and the
-        run returns a :class:`repro.PartialRunResult` — completed-shard
-        aggregates plus a coverage fraction — instead of hanging.
-    checkpoint:
-        Path (or open :class:`repro.ShardCheckpoint`) of a JSONL journal
-        of completed shard results; an interrupted run re-invoked with
-        the same path resumes by skipping finished shards.
-    retry:
-        :class:`repro.RetryPolicy` or an int ``max_retries`` for
-        re-executing crashed shards (exponential backoff + jitter,
-        in-process fallback for a worker-poisoning shard). Default
-        policy applies whenever any fault-tolerance option is active.
-    faults:
-        A :class:`repro.FaultPlan` injecting deterministic failures
-        (crash/hang/slow/corrupt by shard index) — for tests.
+        ``"bigjoin"``, ``"sumpa"``), engine class, or instance. When
+        omitted, ``options.engine`` (default ``"peregrine"``) decides.
+        An explicit instance is used as-is — see the sharing contract on
+        :func:`resolve_engine` before reusing one across runs.
+    options:
+        A :class:`repro.RunOptions` carrying the whole run
+        configuration — aggregation, morphing/strategy, workers,
+        margin, caches, tracing, progress, batching and the four
+        fault-tolerance knobs. See the ``RunOptions`` field docs (and
+        the README's parameter table) for the semantics of each field.
+        ``None`` runs with defaults: morphed counting, the ``"auto"``
+        strategy, serial, untraced.
+    **deprecated_kwargs:
+        The pre-1.2 loose keywords (``workers=``, ``margin=``,
+        ``trace=``, ``deadline_seconds=``, ...) keep working for one
+        release: each warns a :class:`DeprecationWarning` once per
+        process and is folded onto ``options`` via
+        :meth:`RunOptions.replace`, taking the exact same code path as
+        the typed form (results are byte-identical). Unknown keywords
+        raise :class:`TypeError`.
 
     Returns
     -------
@@ -177,40 +146,18 @@ def run(
         carry the run's telemetry. Deadline-degraded runs return the
         :class:`repro.PartialRunResult` subclass.
     """
+    if deprecated_kwargs:
+        from repro import _compat
+
+        options = _compat.run_options_from_kwargs(options, deprecated_kwargs)
+    opts = options if options is not None else RunOptions()
     if isinstance(patterns, Pattern):
         patterns = [patterns]
-    tracer: Tracer | None
-    trace_path = None
-    if trace is None:
-        tracer = None
-    elif isinstance(trace, Tracer):
-        tracer = trace
-    else:
-        tracer = Tracer()
-        trace_path = trace
-    reporter: ProgressReporter | None
-    if progress is None or progress is False:
-        reporter = None
-    elif progress is True:
-        reporter = ProgressReporter()
-    else:
-        reporter = progress
+    resolved = resolve_engine(engine if engine is not None else opts.engine)
+    tracer, trace_path = opts.resolved_tracer()
     session = MorphingSession(
-        resolve_engine(engine),
-        aggregation=aggregation,
-        enabled=morph,
-        strategy=strategy,
-        margin=margin,
-        cache=cache,
-        plan_cache=plan_cache,
-        workers=workers,
-        tracer=tracer,
-        progress=reporter,
-        batch_roots=batch_roots,
-        deadline_seconds=deadline_seconds,
-        checkpoint=checkpoint,
-        retry=retry,
-        faults=faults,
+        resolved,
+        options=opts.replace(trace=tracer, progress=opts.resolved_progress()),
     )
     result = session.run(graph, list(patterns))
     if trace_path is not None:

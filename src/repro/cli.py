@@ -11,6 +11,8 @@ Usage examples::
     python -m repro.cli cliques --graph orkut --max-size 8
     python -m repro.cli bench record --trials 3
     python -m repro.cli bench compare
+    python -m repro.cli serve --graphs mico --port 7071
+    python -m repro.cli submit --port 7071 --graph mico --pattern 4CL
 
 Pattern names are the paper's (Figure 1 / Figure 11a): ``triangle``,
 ``4S``, ``TT``, ``C4``, ``C4C``, ``4CL``, ``4P``, ``p1``..``p10``; a
@@ -37,6 +39,7 @@ from repro.core.pattern import Pattern
 from repro.api import ENGINES, run
 from repro.graph import datasets
 from repro.graph.io import load_edge_list
+from repro.options import RunOptions
 
 
 def resolve_pattern(name: str) -> Pattern:
@@ -186,30 +189,26 @@ def cmd_datasets(_args) -> int:
     return 0
 
 
-def _fault_kwargs(args) -> dict:
-    """``repro.run`` fault-tolerance kwargs from the CLI flags."""
-    return {
-        "deadline_seconds": args.deadline,
-        "checkpoint": args.checkpoint,
-        "retry": args.max_retries,
-    }
-
-
-def cmd_count(args) -> int:
-    graph = resolve_graph(args)
-    patterns = [resolve_pattern(p) for p in args.pattern]
-    result = run(
-        graph,
-        patterns,
-        args.engine,
+def _run_options(args) -> RunOptions:
+    """The :class:`repro.RunOptions` the ``repro.run`` flags describe."""
+    return RunOptions(
+        engine=args.engine,
         morph=not args.no_morph,
         strategy=args.strategy,
         workers=args.workers,
         trace=args.trace,
         progress=args.progress,
         batch_roots=args.batch_roots,
-        **_fault_kwargs(args),
+        deadline_seconds=args.deadline,
+        checkpoint=args.checkpoint,
+        retry=args.max_retries,
     )
+
+
+def cmd_count(args) -> int:
+    graph = resolve_graph(args)
+    patterns = [resolve_pattern(p) for p in args.pattern]
+    result = run(graph, patterns, options=_run_options(args))
     for p in patterns:
         if p in result.results:
             print(f"{pattern_name(p):10s} {result.results[p]}")
@@ -221,18 +220,7 @@ def cmd_count(args) -> int:
 
 def cmd_motifs(args) -> int:
     graph = resolve_graph(args)
-    result = run(
-        graph,
-        list(motif_patterns(args.size)),
-        args.engine,
-        morph=not args.no_morph,
-        strategy=args.strategy,
-        workers=args.workers,
-        trace=args.trace,
-        progress=args.progress,
-        batch_roots=args.batch_roots,
-        **_fault_kwargs(args),
-    )
+    result = run(graph, list(motif_patterns(args.size)), options=_run_options(args))
     for p, c in sorted(result.results.items(), key=lambda kv: -kv[1]):
         print(f"{pattern_name(p):10s} {c}")
     _print_footer(result, trace_path=args.trace)
@@ -347,6 +335,82 @@ def cmd_bench_compare(args) -> int:
 def cmd_bench(args) -> int:
     handlers = {"record": cmd_bench_record, "compare": cmd_bench_compare}
     return handlers[args.bench_command](args)
+
+
+def cmd_serve(args) -> int:
+    """Run the resident mining daemon until interrupted or shut down."""
+    from repro.serve import AdmissionPolicy, GraphRegistry, MiningServer
+
+    registry = GraphRegistry(share=not args.no_share)
+    for name in args.graphs or []:
+        resident = registry.load(name)
+        print(
+            f"# resident: {resident.name} "
+            f"({resident.graph.num_vertices} vertices, "
+            f"{'shared' if resident.payload is not None else 'private'})",
+            file=sys.stderr,
+        )
+    server = MiningServer(
+        registry=registry,
+        policy=AdmissionPolicy(
+            max_queue_depth=args.max_queue_depth,
+            max_per_client=args.max_per_client,
+        ),
+        host=args.host,
+        port=args.port,
+        workers=args.serve_workers,
+    )
+    host, port = server.start()
+    print(f"# listening on {host}:{port} (Ctrl-C or the shutdown op stops)",
+          file=sys.stderr)
+    print(port, flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one query to a running ``repro serve`` daemon."""
+    from repro.serve import connect
+
+    client = connect(port=args.port, host=args.host, client_id=args.client)
+    if args.stats:
+        stats = client.stats()
+        for name, value in sorted(stats["metrics"].items()):
+            print(f"{name:40s} {value}")
+        print(f"# queue depth {stats['scheduler']['depth']}, "
+              f"result cache {stats['result_cache_entries']} entries, "
+              f"graphs: {', '.join(stats['graphs']) or 'none'}",
+              file=sys.stderr)
+        return 0
+    client.load(args.graph)
+    patterns = [resolve_pattern(p) for p in args.pattern]
+    options = RunOptions(
+        engine=args.engine,
+        aggregation=args.aggregation,
+        morph=not args.no_morph,
+        strategy=args.strategy,
+        workers=args.workers,
+    )
+    result = client.run(
+        args.graph,
+        patterns,
+        options=options,
+        priority=args.priority,
+        use_result_cache=not args.no_result_cache,
+    )
+    for p in patterns:
+        print(f"{pattern_name(p):10s} {result.results[p]}")
+    print(
+        f"# {'cache hit' if result.cached else 'computed'}"
+        + (f", match {result.seconds.get('match', 0.0):.3f}s" if result.seconds else ""),
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _exit_code(result) -> int:
@@ -476,6 +540,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="always exit 0 (shared/1-core runners: verdicts are advisory)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="resident mining daemon: load graphs once, answer queries "
+        "over a local socket",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick a free one; the chosen port is printed "
+        "on stdout)",
+    )
+    serve.add_argument(
+        "--graphs", action="append", metavar="NAME",
+        help="dataset name/code or edge-list path to preload (repeatable; "
+        "clients can also load on demand)",
+    )
+    serve.add_argument(
+        "--serve-workers", type=int, default=2, metavar="N",
+        help="concurrent query worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=64,
+        help="admission control: reject new queries beyond this backlog",
+    )
+    serve.add_argument(
+        "--max-per-client", type=int, default=4,
+        help="admission control: max in-flight queries per client id",
+    )
+    serve.add_argument(
+        "--no-share", action="store_true",
+        help="skip the shared-memory CSR export at load time",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one query to a running repro serve daemon"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True)
+    submit.add_argument("--graph", default="mico", help="resident graph name")
+    submit.add_argument(
+        "--pattern", action="append", default=[], help="repeatable"
+    )
+    submit.add_argument(
+        "--aggregation", choices=("count", "mni", "matches", "exists"),
+        default=None,
+    )
+    submit.add_argument("--engine", choices=sorted(ENGINES), default="peregrine")
+    submit.add_argument("--no-morph", action="store_true")
+    submit.add_argument("--strategy", default="auto")
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (higher runs first)",
+    )
+    submit.add_argument(
+        "--client", default="cli", help="client id for per-client limits"
+    )
+    submit.add_argument(
+        "--no-result-cache", action="store_true",
+        help="bypass the daemon's result cache (plan cache still applies)",
+    )
+    submit.add_argument(
+        "--stats", action="store_true",
+        help="print the daemon's metrics snapshot instead of running a query",
+    )
+
     return parser
 
 
@@ -491,6 +621,8 @@ def main(argv: list[str] | None = None) -> int:
         "orbits": cmd_orbits,
         "approx": cmd_approx,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }
     return handlers[args.command](args)
 

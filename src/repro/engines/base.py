@@ -297,6 +297,13 @@ class MiningEngine(ABC):
         #: reports per-chunk completion through it so the ETA
         #: recalibrates per batch instead of per item.
         self.progress = None
+        #: True while a session run is executing on this instance. The
+        #: sharing contract (see :func:`repro.resolve_engine`): stats,
+        #: tracer and progress are per-run mutable state, so an instance
+        #: must never serve two concurrent runs — ``resolve_engine``
+        #: rejects a busy instance instead of silently corrupting both
+        #: runs' telemetry.
+        self.busy = False
 
     def __getstate__(self):
         # Engines ship to pool workers by pickle; the tracer and the
@@ -307,6 +314,7 @@ class MiningEngine(ABC):
         state = self.__dict__.copy()
         state["tracer"] = None
         state["progress"] = None
+        state["busy"] = False  # the worker's copy is its own engine
         return state
 
     def reset_stats(self) -> None:

@@ -151,6 +151,7 @@ class MorphingSession:
         self,
         engine: MiningEngine,
         *args: Any,
+        options: "RunOptions | None" = None,
         aggregation: Aggregation | None = None,
         enabled: bool = True,
         strategy: str = "auto",
@@ -169,6 +170,15 @@ class MorphingSession:
     ) -> None:
         """Configuration is keyword-only (positional config is a
         deprecated shim, see :mod:`repro._compat`).
+
+        ``options`` — a :class:`repro.RunOptions` — is the consolidated
+        form of the whole configuration and what the session actually
+        consumes; the individual keywords below remain as conveniences
+        and are folded into a ``RunOptions`` when ``options`` is not
+        given (passing both raises, so a call site has exactly one
+        source of truth). ``executor`` stays a session-level knob: a
+        caller-owned transport is a live in-process object, not run
+        configuration.
 
         ``margin`` is forwarded to Algorithm 1: a morph must be
         predicted to cost under ``margin`` times what it saves. ``margin
@@ -233,6 +243,8 @@ class MorphingSession:
         them. ``retry`` is a :class:`repro.RetryPolicy` (or an int
         ``max_retries``) governing re-execution of crashed shards.
         ``faults`` injects a :class:`repro.FaultPlan` (tests only)."""
+        from repro.options import RunOptions
+
         if args:
             from repro import _compat
 
@@ -247,28 +259,62 @@ class MorphingSession:
             cache = overrides.get("cache", cache)
             workers = overrides.get("workers", workers)
             executor = overrides.get("executor", executor)
-        if strategy not in STRATEGIES:
-            raise ValueError(
-                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        if options is None:
+            options = RunOptions(
+                engine=getattr(engine, "name", "engine"),
+                aggregation=aggregation,
+                morph=enabled,
+                strategy=strategy,
+                margin=margin,
+                cache=cache,
+                plan_cache=plan_cache,
+                workers=workers,
+                trace=tracer,
+                progress=progress,
+                batch_roots=batch_roots,
+                deadline_seconds=deadline_seconds,
+                checkpoint=checkpoint,
+                retry=retry,
+                faults=faults,
+            )
+        elif (
+            aggregation is not None
+            or enabled is not True
+            or strategy != "auto"
+            or margin != 0.6
+            or cache is not None
+            or plan_cache is not None
+            or workers != 1
+            or tracer is not None
+            or progress is not None
+            or batch_roots is not None
+            or deadline_seconds is not None
+            or checkpoint is not None
+            or retry is not None
+            or faults is not None
+        ):
+            raise TypeError(
+                "pass the configuration either as options=RunOptions(...) "
+                "or as individual keywords, not both"
             )
         self.engine = engine
-        self.aggregation = aggregation or CountAggregation()
-        self.enabled = enabled
-        self.strategy = strategy
-        self.margin = margin
-        self.cache = cache
-        self.plan_cache = plan_cache
-        self.workers = workers
+        #: The consolidated run configuration (:class:`repro.RunOptions`).
+        self.options = options
+        self.aggregation = options.resolved_aggregation()
+        self.enabled = options.morph
+        self.strategy = options.strategy
+        self.margin = options.margin
+        self.cache = options.cache
+        self.plan_cache = options.plan_cache
+        self.workers = options.workers
         self.executor = executor
-        self.tracer = tracer
-        self.progress = progress
-        if batch_roots is not None and batch_roots < 1:
-            raise ValueError(f"batch_roots must be >= 1, got {batch_roots!r}")
-        self.batch_roots = batch_roots
-        self.deadline_seconds = deadline_seconds
-        self.checkpoint = checkpoint
-        self.retry = retry
-        self.faults = faults
+        self.tracer, _ = options.resolved_tracer()
+        self.progress = options.resolved_progress()
+        self.batch_roots = options.batch_roots
+        self.deadline_seconds = options.deadline_seconds
+        self.checkpoint = options.checkpoint
+        self.retry = options.retry
+        self.faults = options.faults
         #: The active run's RunControl (set by ``_run_scoped`` for the
         #: duration of one run; the sharded helpers read it).
         self._control = None
@@ -412,6 +458,13 @@ class MorphingSession:
         the first pattern's match window — the ``executor_seconds``
         fix), the engine's tracer attachment, and the result's trace.
         """
+        if getattr(self.engine, "busy", False):
+            raise ValueError(
+                f"{type(self.engine).__name__} instance is already mid-run; "
+                "engine instances carry per-run mutable state and cannot be "
+                "shared across concurrent runs"
+            )
+        self.engine.busy = True
         self.engine.reset_stats()
         tracer = self.tracer
         control, owns_checkpoint = self._make_control(graph)
@@ -457,6 +510,7 @@ class MorphingSession:
                 self.engine.tracer = previous_tracer
                 self.engine.batch_roots = previous_batch
                 self.engine.progress = previous_progress
+                self.engine.busy = False
         result.executor_seconds = setup_seconds + teardown_seconds
         if tracer is not None:
             tracer.metrics.record_engine_stats(result.stats)

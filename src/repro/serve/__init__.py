@@ -1,0 +1,43 @@
+"""Resident mining service: load graphs once, answer many queries.
+
+A cold ``repro.run()`` pays graph construction, plan search and (for
+``workers > 1``) process-pool spin-up on every call. The service keeps
+all three resident: a :class:`GraphRegistry` holds loaded graphs (with
+their shared-memory CSR segments exported once), a server-owned
+:class:`repro.PlanCache` / :class:`repro.MeasurementCache` pair carries
+planning and measurement work across queries, and a result cache
+returns byte-identical payloads for repeat queries without touching the
+engines at all.
+
+Topology::
+
+    repro serve  ──  MiningServer (JSON-lines over TCP)
+                       ├── GraphRegistry       graphs + shm segments
+                       ├── QueryScheduler      priority queue + admission
+                       └── worker threads  ──  MorphingSession per query
+
+    repro.connect(port=...)  ──  Client.run(graph, patterns, options)
+
+The wire request schema is :meth:`repro.RunOptions.to_dict` — the same
+object that configures an in-process run configures a remote one.
+"""
+
+from repro.serve.client import Client, ServeResult, connect
+from repro.serve.protocol import decode_value, encode_value
+from repro.serve.registry import GraphRegistry, ResidentGraph
+from repro.serve.scheduler import AdmissionPolicy, Query, QueryScheduler
+from repro.serve.server import MiningServer
+
+__all__ = [
+    "AdmissionPolicy",
+    "Client",
+    "GraphRegistry",
+    "MiningServer",
+    "Query",
+    "QueryScheduler",
+    "ResidentGraph",
+    "ServeResult",
+    "connect",
+    "decode_value",
+    "encode_value",
+]

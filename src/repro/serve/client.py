@@ -1,0 +1,181 @@
+"""Thin client for the resident mining service.
+
+``repro.connect(port=...)`` returns a :class:`Client` whose
+:meth:`Client.run` mirrors :func:`repro.run`: same
+:class:`repro.RunOptions` configuration, same typed result values
+(``int`` counts, MNI frozenset tuples, ordered match lists, ``bool``
+existence) keyed by the caller's own :class:`repro.Pattern` objects —
+the only visible difference is that the graph lives in the daemon and
+is named, not passed.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.parser import format_pattern
+from repro.core.pattern import Pattern
+from repro.options import RunOptions
+from repro.serve import protocol
+
+__all__ = ["Client", "ServeResult", "connect"]
+
+
+@dataclass
+class ServeResult:
+    """One remote run's answer, reshaped to the in-process contract.
+
+    ``results`` is keyed by the caller's own :class:`Pattern` objects
+    (exactly like :attr:`repro.MorphRunResult.results`), so code
+    consuming an in-process result consumes a remote one unchanged.
+    """
+
+    results: dict[Pattern, Any]
+    #: ``True`` when the daemon answered from its result cache.
+    cached: bool = False
+    #: ``True`` for a deadline-degraded (incomplete) answer.
+    partial: bool = False
+    #: Completed-shard coverage for partial answers (1.0 otherwise).
+    coverage: float = 1.0
+    #: Per-phase timing reported by the daemon.
+    seconds: dict[str, float] = field(default_factory=dict)
+    #: Service-contract metrics (``plan.cache.hit`` / ``plan.cache.miss``).
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+class Client:
+    """A connection to one ``repro serve`` daemon.
+
+    Thread-safe by construction: every request opens a fresh socket, so
+    concurrent callers (threads, test harnesses) never interleave
+    frames. The daemon's connection handler is cheap enough that this
+    costs microseconds against queries that cost milliseconds.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        client_id: str = "anonymous",
+        timeout: float | None = 60.0,
+    ) -> None:
+        if port <= 0:
+            raise ValueError(f"port must be a bound server port, got {port!r}")
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _request(self, payload: dict) -> dict:
+        """One request/response exchange on a fresh connection."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            stream = sock.makefile("rwb")
+            try:
+                protocol.write_message(stream, payload)
+                response = protocol.read_message(stream)
+            finally:
+                stream.close()
+        if response is None:
+            raise ConnectionError("server closed the connection mid-request")
+        return response
+
+    def _checked(self, payload: dict) -> dict:
+        response = self._request(payload)
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"server rejected {payload.get('op')!r}: "
+                f"{response.get('error', 'unknown error')}"
+            )
+        return response
+
+    # -- protocol ops --------------------------------------------------------
+
+    def ping(self) -> bool:
+        """``True`` iff the daemon answers."""
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def graphs(self) -> list[dict]:
+        """Summaries of the graphs currently resident in the daemon."""
+        return self._checked({"op": "graphs"})["graphs"]
+
+    def load(self, name: str) -> dict:
+        """Load ``name`` (dataset name/code or edge-list path) remotely."""
+        return self._checked({"op": "load", "graph": name})["graph"]
+
+    def stats(self) -> dict:
+        """The daemon's metrics snapshot, scheduler and cache state."""
+        return self._checked({"op": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (idempotent; returns once acknowledged)."""
+        self._checked({"op": "shutdown"})
+
+    def run(
+        self,
+        graph: str,
+        patterns: Sequence[Pattern] | Pattern,
+        options: RunOptions | None = None,
+        priority: int = 0,
+        use_result_cache: bool = True,
+    ) -> ServeResult:
+        """Mine ``patterns`` on the resident graph named ``graph``.
+
+        ``options`` is the same :class:`repro.RunOptions` an in-process
+        run takes; it must be wire-safe (``options.to_dict()`` raises on
+        local-only live objects before anything is sent). ``priority``
+        orders this query against others queued in the daemon (higher
+        first); admission rejections surface as :class:`RuntimeError`
+        with the verdict (``rejected:queue-full``,
+        ``rejected:client-limit``, ``rejected:deadline``) as message.
+        """
+        if isinstance(patterns, Pattern):
+            patterns = [patterns]
+        patterns = list(patterns)
+        texts = [format_pattern(p) for p in patterns]
+        response = self._checked(
+            {
+                "op": "run",
+                "graph": graph,
+                "patterns": texts,
+                "options": (options or RunOptions()).to_dict(),
+                "client": self.client_id,
+                "priority": priority,
+                "use_result_cache": use_result_cache,
+            }
+        )
+        by_text = response.get("results", {})
+        results = {
+            pattern: protocol.decode_value(by_text.get(text))
+            for text, pattern in zip(texts, patterns)
+        }
+        return ServeResult(
+            results=results,
+            cached=bool(response.get("cached", False)),
+            partial=bool(response.get("partial", False)),
+            coverage=float(response.get("coverage", 1.0)),
+            seconds=dict(response.get("seconds", {})),
+            metrics=dict(response.get("metrics", {})),
+        )
+
+
+def connect(
+    port: int,
+    host: str = "127.0.0.1",
+    client_id: str = "anonymous",
+    timeout: float | None = 60.0,
+) -> Client:
+    """Connect to a ``repro serve`` daemon and verify it answers.
+
+    The returned :class:`Client` is ready to use::
+
+        client = repro.connect(port=7071)
+        client.load("mico")
+        result = client.run("mico", [repro.Pattern.clique(3)])
+    """
+    client = Client(host=host, port=port, client_id=client_id, timeout=timeout)
+    client.ping()
+    return client

@@ -1,0 +1,98 @@
+"""Wire protocol of the resident mining service.
+
+JSON-lines over a stream socket: every message is one JSON object on
+one ``\\n``-terminated line, UTF-8. Requests carry an ``op`` field;
+responses carry ``ok`` (``true``/``false``) plus op-specific payload or
+an ``error`` string. The framing is deliberately boring — any language
+with a socket and a JSON parser is a client.
+
+Aggregation values are *typed* Python objects (``int`` counts, ``bool``
+existence, ``list[tuple]`` match lists, ``tuple[frozenset]`` MNI
+tables) that plain JSON would flatten into indistinguishable arrays.
+:func:`encode_value` / :func:`decode_value` wrap compound values in
+``{"t": <kind>, "v": [...]}`` tags so the client reconstructs the
+exact type — a remote result compares ``==`` to the in-process one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+__all__ = ["decode_value", "encode_value", "read_message", "write_message"]
+
+#: Tag names for the compound types that must survive the round-trip.
+_TAGS = ("tuple", "list", "frozenset", "set", "dict")
+
+
+def encode_value(value: Any) -> Any:
+    """Encode an aggregation value into its tagged JSON form.
+
+    Scalars (``int``, ``float``, ``str``, ``bool``, ``None``) pass
+    through; tuples, lists, frozensets and sets become
+    ``{"t": kind, "v": [...]}`` with elements encoded recursively.
+    Set-likes are emitted in sorted order so the encoding — and hence
+    the service's result cache and any on-the-wire comparison — is
+    deterministic regardless of construction order.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"t": "list", "v": [encode_value(v) for v in value]}
+    if isinstance(value, (frozenset, set)):
+        kind = "frozenset" if isinstance(value, frozenset) else "set"
+        try:
+            elements = sorted(value)
+        except TypeError:
+            elements = sorted(value, key=repr)
+        return {"t": kind, "v": [encode_value(v) for v in elements]}
+    if isinstance(value, dict):
+        return {
+            "t": "dict",
+            "v": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    raise TypeError(f"cannot encode {type(value).__name__} value {value!r}")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`: rebuild the exact Python type."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        tag = value.get("t")
+        if tag not in _TAGS or "v" not in value:
+            raise ValueError(f"malformed tagged value: {value!r}")
+        items = value["v"]
+        if tag == "tuple":
+            return tuple(decode_value(v) for v in items)
+        if tag == "list":
+            return [decode_value(v) for v in items]
+        if tag == "frozenset":
+            return frozenset(decode_value(v) for v in items)
+        if tag == "set":
+            return {decode_value(v) for v in items}
+        return {decode_value(k): decode_value(v) for k, v in items}
+    raise ValueError(f"cannot decode {value!r}")
+
+
+def write_message(stream: BinaryIO, message: dict) -> None:
+    """Write one JSON-lines message and flush."""
+    stream.write(json.dumps(message, separators=(",", ":")).encode("utf-8"))
+    stream.write(b"\n")
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> dict | None:
+    """Read one JSON-lines message; ``None`` on a closed stream."""
+    line = stream.readline()
+    if not line:
+        return None
+    text = line.decode("utf-8").strip()
+    if not text:
+        return None
+    message = json.loads(text)
+    if not isinstance(message, dict):
+        raise ValueError(f"protocol messages are JSON objects, got {text[:80]!r}")
+    return message

@@ -1,0 +1,256 @@
+"""Query queue: priorities, per-client limits, deadline-aware admission.
+
+The daemon multiplexes one machine across many clients, so "just run
+everything immediately" degrades into thrash exactly when the service
+is most loaded. The scheduler makes the contention policy explicit:
+
+* **admission** (:class:`AdmissionPolicy`) decides *at submit time*
+  whether a query may queue at all — bounded queue depth, a per-client
+  in-flight cap, and a deadline feasibility check (a query whose
+  deadline will expire before it can plausibly start is rejected now,
+  not after wasting a slot);
+* **ordering** is a strict priority queue (higher ``priority`` first,
+  FIFO within a priority level);
+* **deadlines** are re-checked at dispatch (reusing
+  :class:`repro.Deadline`, clock injectable), so a query that queued
+  fine but aged out while waiting is dropped without running.
+
+Every verdict lands in the metrics registry
+(``serve.admission.accepted`` / ``serve.admission.rejected.<reason>``)
+and the live depth in the ``serve.queue.depth`` gauge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Any, Callable
+
+from repro.engines.recovery import Deadline
+from repro.observe.metrics import MetricsRegistry
+
+__all__ = ["AdmissionPolicy", "Query", "QueryScheduler"]
+
+#: Admission verdicts (the ``rejected:*`` forms are also wire errors).
+ACCEPTED = "accepted"
+REJECTED_QUEUE_FULL = "rejected:queue-full"
+REJECTED_CLIENT_LIMIT = "rejected:client-limit"
+REJECTED_DEADLINE = "rejected:deadline"
+
+
+class Query:
+    """One scheduled unit of work: a request plus its completion slot.
+
+    The submitting thread waits on :meth:`wait`; whichever worker
+    executes the query publishes through :meth:`finish`.
+    """
+
+    def __init__(
+        self,
+        request: dict,
+        client: str = "anonymous",
+        priority: int = 0,
+        deadline: Deadline | None = None,
+    ) -> None:
+        self.request = request
+        self.client = client
+        self.priority = priority
+        self.deadline = deadline
+        self.response: dict | None = None
+        self._done = threading.Event()
+
+    def finish(self, response: dict) -> None:
+        """Publish the response and wake the waiting submitter."""
+        self.response = response
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> dict | None:
+        """Block until :meth:`finish`; ``None`` on timeout."""
+        if not self._done.wait(timeout):
+            return None
+        return self.response
+
+
+class AdmissionPolicy:
+    """Submit-time gate: queue depth, per-client cap, deadline headroom.
+
+    ``estimated_service_seconds`` (optional) enables the feasibility
+    check: with the queue ``d`` deep, a new query waits roughly
+    ``d * estimate`` before starting, so a deadline with less remaining
+    headroom than that is unmeetable and the query is rejected upfront.
+    ``0`` (the default) disables the estimate and only rejects
+    already-expired deadlines.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        max_per_client: int = 4,
+        estimated_service_seconds: float = 0.0,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth!r}")
+        if max_per_client < 1:
+            raise ValueError(f"max_per_client must be >= 1, got {max_per_client!r}")
+        self.max_queue_depth = max_queue_depth
+        self.max_per_client = max_per_client
+        self.estimated_service_seconds = estimated_service_seconds
+
+    def admit(self, query: Query, queue_depth: int, client_inflight: int) -> str:
+        """The verdict for submitting ``query`` against current load."""
+        if queue_depth >= self.max_queue_depth:
+            return REJECTED_QUEUE_FULL
+        if client_inflight >= self.max_per_client:
+            return REJECTED_CLIENT_LIMIT
+        if query.deadline is not None:
+            wait_estimate = queue_depth * self.estimated_service_seconds
+            if query.deadline.expired() or query.deadline.remaining() < wait_estimate:
+                return REJECTED_DEADLINE
+        return ACCEPTED
+
+
+class QueryScheduler:
+    """Thread-safe priority queue with admission control.
+
+    ``clock`` is injectable (like :class:`repro.Deadline`'s) so tests
+    drive deadline behavior deterministically. The scheduler itself is
+    thread-less: the server's worker threads call :meth:`next_query` /
+    :meth:`run_next`, and unit tests can drain the queue synchronously
+    without any server at all.
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._heap: list[tuple[int, int, Query]] = []
+        self._seq = 0
+        self._inflight: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- submit --------------------------------------------------------------
+
+    def make_deadline(self, seconds: float | None) -> Deadline | None:
+        """A :class:`repro.Deadline` on this scheduler's clock."""
+        if seconds is None:
+            return None
+        return Deadline(seconds, clock=self.clock)
+
+    def submit(self, query: Query) -> str:
+        """Admit-or-reject ``query``; an accepted query is queued.
+
+        Returns the verdict string. In-flight accounting covers both
+        queued and executing queries of a client, so ``max_per_client``
+        bounds a client's total footprint on the daemon.
+        """
+        with self._lock:
+            verdict = self.policy.admit(
+                query,
+                queue_depth=len(self._heap),
+                client_inflight=self._inflight.get(query.client, 0),
+            )
+            if verdict == ACCEPTED:
+                self._inflight[query.client] = self._inflight.get(query.client, 0) + 1
+                heapq.heappush(self._heap, (-query.priority, self._seq, query))
+                self._seq += 1
+                self.metrics.gauge("serve.queue.depth", len(self._heap))
+                self._available.notify()
+        self.metrics.add(f"serve.admission.{verdict.replace(':', '.')}")
+        return verdict
+
+    # -- dispatch ------------------------------------------------------------
+
+    def next_query(self, timeout: float | None = 0) -> Query | None:
+        """Pop the highest-priority query; ``None`` when empty/closed.
+
+        ``timeout=0`` polls; ``None`` blocks until work or close.
+        Queries whose deadline expired while queued are finished with a
+        ``rejected:deadline`` error here and never reach a worker.
+        """
+        while True:
+            with self._lock:
+                if not self._heap and timeout != 0:
+                    self._available.wait_for(
+                        lambda: self._heap or self._closed, timeout=timeout
+                    )
+                if not self._heap:
+                    return None
+                _, _, query = heapq.heappop(self._heap)
+                self.metrics.gauge("serve.queue.depth", len(self._heap))
+            if query.deadline is not None and query.deadline.expired():
+                self.metrics.add("serve.admission.rejected.deadline")
+                self._release(query)
+                query.finish(
+                    {"ok": False, "error": REJECTED_DEADLINE, "admission": REJECTED_DEADLINE}
+                )
+                continue
+            return query
+
+    def run_next(self, execute: Callable[[Query], dict], timeout: float | None = 0) -> bool:
+        """Synchronously execute one queued query (worker loop body).
+
+        Returns ``False`` when no query was available. Exceptions from
+        ``execute`` become error responses, never worker crashes.
+        """
+        query = self.next_query(timeout=timeout)
+        if query is None:
+            return False
+        try:
+            response = execute(query)
+        except Exception as exc:  # noqa: BLE001 - workers must not die
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            self._release(query)
+        query.finish(response)
+        return True
+
+    def _release(self, query: Query) -> None:
+        with self._lock:
+            count = self._inflight.get(query.client, 0) - 1
+            if count <= 0:
+                self._inflight.pop(query.client, None)
+            else:
+                self._inflight[query.client] = count
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of queries currently queued (not executing)."""
+        with self._lock:
+            return len(self._heap)
+
+    def inflight(self, client: str) -> int:
+        """Queued + executing queries charged to ``client``."""
+        with self._lock:
+            return self._inflight.get(client, 0)
+
+    def close(self) -> None:
+        """Reject everything still queued and wake blocked workers."""
+        with self._lock:
+            self._closed = True
+            pending = [query for _, _, query in self._heap]
+            self._heap.clear()
+            self.metrics.gauge("serve.queue.depth", 0)
+            self._available.notify_all()
+        for query in pending:
+            self._release(query)
+            query.finish({"ok": False, "error": "scheduler closed"})
+
+    def snapshot(self) -> dict[str, Any]:
+        """Wire-safe scheduler state for the ``stats`` op."""
+        with self._lock:
+            return {
+                "depth": len(self._heap),
+                "inflight": dict(self._inflight),
+                "max_queue_depth": self.policy.max_queue_depth,
+                "max_per_client": self.policy.max_per_client,
+            }

@@ -1,0 +1,377 @@
+"""The resident mining daemon: :class:`MiningServer`.
+
+One process owns the expensive state — resident graphs (with their
+shared-memory segments), a warm :class:`repro.PlanCache`, per-graph
+:class:`repro.MeasurementCache` instances, and a result cache — and
+answers queries over the JSON-lines protocol (:mod:`.protocol`).
+Requests flow through the :class:`.scheduler.QueryScheduler` (priority
+ordering, per-client limits, deadline-aware admission) into a small
+pool of worker threads, each of which builds a *fresh* engine per query
+(:func:`repro.resolve_engine` with ``fresh=True`` — engine instances
+carry per-run mutable state and must never be shared across concurrent
+runs).
+
+Three cache layers, coarsest first:
+
+1. **result cache** — byte-identical encoded payloads keyed by (graph
+   fingerprint, pattern texts, aggregation, engine, strategy, morph
+   knobs); a hit answers without touching the pipeline at all;
+2. **plan cache** — a result-cache miss still skips plan *search* when
+   the same (graph, queries, engine, strategy) was planned before;
+3. **measurement cache** — per-graph memoized alternative-set
+   measurements shared across queries.
+
+Every layer reports into the server's metrics registry
+(``serve.result_cache.*``, merged ``plan.cache.*``, admission verdicts
+and queue depth from the scheduler), surfaced by the ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from typing import Any, Callable
+
+from repro.core.parser import format_pattern, parse_pattern
+from repro.morph.cache import MeasurementCache, PlanCache
+from repro.morph.session import MorphingSession, PartialRunResult
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracer import Tracer
+from repro.options import RunOptions
+from repro.serve import protocol
+from repro.serve.registry import GraphRegistry
+from repro.serve.scheduler import ACCEPTED, AdmissionPolicy, Query, QueryScheduler
+
+__all__ = ["MiningServer"]
+
+#: Metrics forwarded to clients in every run response (cache behavior
+#: is part of the service contract, so clients can assert on it).
+_RESPONSE_METRICS = ("plan.cache.hit", "plan.cache.miss")
+
+
+class MiningServer:
+    """Resident daemon: registry + scheduler + caches + TCP front-end.
+
+    Usable at three levels, outermost optional:
+
+    * :meth:`handle` — dict in, dict out; the full protocol without any
+      sockets or threads (unit tests drive this directly);
+    * :meth:`start` / :meth:`close` — TCP listener plus worker threads
+      (what ``repro serve`` runs);
+    * ``with MiningServer(...) as server:`` — start/close scoped.
+
+    ``clock`` is forwarded to the scheduler so tests control deadline
+    admission deterministically. ``workers=0`` runs queries
+    synchronously in whichever thread submitted them (deterministic
+    integration tests); any positive count gives real cross-query
+    concurrency.
+    """
+
+    def __init__(
+        self,
+        registry: GraphRegistry | None = None,
+        policy: AdmissionPolicy | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+        result_cache: bool = True,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers!r}")
+        self.registry = registry if registry is not None else GraphRegistry()
+        self.metrics = MetricsRegistry()
+        self.scheduler = QueryScheduler(policy=policy, clock=clock, metrics=self.metrics)
+        self.plan_cache = PlanCache()
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.result_cache_enabled = result_cache
+        self._result_cache: dict[tuple, dict] = {}
+        self._measurement_caches: dict[str, MeasurementCache] = {}
+        self._lock = threading.Lock()
+        self._tcp: _TCPServer | None = None
+        self._threads: list[threading.Thread] = []
+        self._worker_threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._closed = threading.Event()
+        self._started = 0.0
+
+    # -- protocol dispatch ---------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Answer one protocol request (dict in, dict out).
+
+        Never raises: malformed requests and execution failures become
+        ``{"ok": false, "error": ...}`` responses, because a daemon
+        that dies on a bad request takes every other client with it.
+        """
+        try:
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "graphs":
+                return {"ok": True, "graphs": self.registry.describe()}
+            if op == "load":
+                resident = self.registry.load(str(request["graph"]))
+                return {"ok": True, "graph": resident.describe()}
+            if op == "run":
+                return self._handle_run(request)
+            if op == "stats":
+                return {
+                    "ok": True,
+                    "metrics": self.metrics.snapshot(),
+                    "scheduler": self.scheduler.snapshot(),
+                    "graphs": self.registry.names(),
+                    "result_cache_entries": len(self._result_cache),
+                    "plan_cache": {
+                        "hits": self.plan_cache.hits,
+                        "misses": self.plan_cache.misses,
+                    },
+                    "uptime_seconds": (
+                        time.monotonic() - self._started if self._started else 0.0
+                    ),
+                }
+            if op == "shutdown":
+                threading.Thread(target=self.close, daemon=True).start()
+                return {"ok": True, "stopping": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _handle_run(self, request: dict) -> dict:
+        """Admit, schedule and (a)wait one mining query."""
+        options = RunOptions.from_dict(request.get("options") or {})
+        query = Query(
+            request,
+            client=str(request.get("client", "anonymous")),
+            priority=int(request.get("priority", 0)),
+            deadline=self.scheduler.make_deadline(options.deadline_seconds),
+        )
+        verdict = self.scheduler.submit(query)
+        if verdict != ACCEPTED:
+            return {"ok": False, "error": verdict, "admission": verdict}
+        if not self._worker_threads:
+            # Synchronous mode (``workers=0``, dict-level unit tests):
+            # drain the queue in the calling thread until this query
+            # resolves — higher-priority work still runs first.
+            while query.response is None:
+                self.scheduler.run_next(self._execute)
+        response = query.wait(timeout=None)
+        assert response is not None
+        return response
+
+    # -- query execution -----------------------------------------------------
+
+    def _execute(self, query: Query) -> dict:
+        """Run one admitted query to a wire-ready response payload."""
+        request = query.request
+        resident = self.registry.get(str(request["graph"]))
+        texts = list(request.get("patterns") or [])
+        if not texts:
+            raise ValueError("run request carries no patterns")
+        patterns = [parse_pattern(str(t)) for t in texts]
+        options = RunOptions.from_dict(request.get("options") or {})
+        use_cache = self.result_cache_enabled and bool(
+            request.get("use_result_cache", True)
+        )
+        key = self._cache_key(resident.graph.fingerprint, texts, options)
+        if use_cache:
+            with self._lock:
+                hit = self._result_cache.get(key)
+            if hit is not None:
+                self.metrics.add("serve.result_cache.hits")
+                response = dict(hit)
+                response["cached"] = True
+                return response
+            self.metrics.add("serve.result_cache.misses")
+
+        tracer = Tracer()
+        from repro.api import resolve_engine
+
+        engine = resolve_engine(options.engine, fresh=True)
+        with tracer.span(
+            "serve.query",
+            graph=resident.name,
+            client=query.client,
+            engine=options.engine,
+            patterns=len(patterns),
+        ):
+            session = MorphingSession(
+                engine,
+                options=options.replace(
+                    trace=tracer,
+                    plan_cache=self.plan_cache,
+                    cache=self._measurement_cache(resident.name),
+                ),
+            )
+            result = session.run(resident.graph, patterns)
+        self.metrics.merge(tracer.metrics)
+        self.metrics.add("serve.queries")
+
+        partial = isinstance(result, PartialRunResult)
+        response: dict[str, Any] = {
+            "ok": True,
+            "results": {
+                text: protocol.encode_value(result.results.get(pattern))
+                for text, pattern in zip(texts, patterns)
+            },
+            "cached": False,
+            "partial": partial,
+            "seconds": {
+                "transform": result.transform_seconds,
+                "match": result.match_seconds,
+                "convert": result.convert_seconds,
+                "executor": result.executor_seconds,
+                "total": result.total_seconds,
+            },
+            "metrics": {
+                name: tracer.metrics.value(name)
+                for name in _RESPONSE_METRICS
+                if tracer.metrics.value(name, None) is not None
+            },
+        }
+        if partial:
+            response["coverage"] = result.coverage
+            response["unresolved"] = [format_pattern(p) for p in result.unresolved]
+        elif use_cache:
+            # Partial results never enter the cache: a later identical
+            # query without deadline pressure deserves the full answer.
+            with self._lock:
+                self._result_cache[key] = {
+                    k: v for k, v in response.items() if k != "cached"
+                }
+        return response
+
+    @staticmethod
+    def _cache_key(fingerprint: str, texts: list, options: RunOptions) -> tuple:
+        """Result-cache identity: everything that can change the answer.
+
+        ``deadline_seconds`` is excluded deliberately — a deadline
+        changes *whether* the full answer arrives, not what it is, and
+        partial results are never cached. Local-only fields can't occur
+        here (options arrived via ``from_dict``).
+        """
+        aggregation = options.aggregation
+        if aggregation is not None and not isinstance(aggregation, str):
+            aggregation = aggregation.name
+        return (
+            fingerprint,
+            tuple(str(t) for t in texts),
+            aggregation or "count",
+            options.engine,
+            options.strategy,
+            options.morph,
+            options.margin,
+            options.workers,
+            options.batch_roots,
+        )
+
+    def _measurement_cache(self, graph_name: str) -> MeasurementCache:
+        """The per-graph measurement cache (created on first use)."""
+        with self._lock:
+            cache = self._measurement_caches.get(graph_name)
+            if cache is None:
+                cache = self._measurement_caches[graph_name] = MeasurementCache()
+            return cache
+
+    # -- socket front-end ----------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind the TCP listener and spin up the worker threads.
+
+        Returns the bound ``(host, port)`` — with ``port=0`` the OS
+        picks a free port, so parallel test runs never collide.
+        """
+        if self._tcp is not None:
+            return self.host, self.port
+        self._started = time.monotonic()
+        self._stop.clear()
+        self._closed.clear()
+        self._tcp = _TCPServer((self.host, self.port), _Handler, self)
+        self.host, self.port = self._tcp.server_address[:2]
+        listener = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-listener",
+            daemon=True,
+        )
+        listener.start()
+        self._threads = [listener]
+        self._worker_threads = []
+        for index in range(self.workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._worker_threads.append(worker)
+        self._threads.extend(self._worker_threads)
+        return self.host, self.port
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self.scheduler.run_next(self._execute, timeout=0.1):
+                continue
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until :meth:`close` runs (the ``repro serve`` main loop)."""
+        return self._closed.wait(timeout)
+
+    def close(self) -> None:
+        """Stop listening, drain workers, release graphs and segments."""
+        self._stop.set()
+        self._closed.set()
+        if self._tcp is not None:
+            self._tcp.shutdown()
+            self._tcp.server_close()
+            self._tcp = None
+        self.scheduler.close()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5)
+        self._threads = []
+        self._worker_threads = []
+        self.registry.close()
+
+    def __enter__(self) -> "MiningServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    """Threading TCP server carrying a back-reference to the daemon."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, handler, mining_server: MiningServer) -> None:
+        self.mining_server = mining_server
+        super().__init__(address, handler)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request → :meth:`MiningServer.handle`."""
+
+    def handle(self) -> None:
+        server: MiningServer = self.server.mining_server  # type: ignore[attr-defined]
+        while True:
+            try:
+                request = protocol.read_message(self.rfile)
+            except (ValueError, ConnectionError, socket.error):
+                break
+            if request is None:
+                break
+            response = server.handle(request)
+            try:
+                protocol.write_message(self.wfile, response)
+            except (ConnectionError, socket.error, BrokenPipeError):
+                break
+            if request.get("op") == "shutdown":
+                break

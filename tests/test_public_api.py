@@ -1,14 +1,17 @@
 """Contract tests for the ``repro`` public API surface.
 
-Pins three things the facade redesign promised: ``__all__`` is the
+Pins four things the facade redesign promised: ``__all__`` is the
 importable truth (every name exists, is documented, and nothing public
 is missing), ``repro.run`` round-trips every engine with results
-identical to a hand-built session, and the deprecated calling
-conventions keep working — warning exactly once.
+identical to a hand-built session, the typed :class:`repro.RunOptions`
+is validated on every construction path and JSON round-trips exactly,
+and the deprecated calling conventions keep working — warning exactly
+once per shimmed keyword and byte-identical to the typed form.
 """
 
 from __future__ import annotations
 
+import json
 import warnings
 
 import pytest
@@ -18,6 +21,7 @@ from repro import _compat
 from repro.core.atlas import TRIANGLE, motif_patterns
 from repro.engines.peregrine.engine import PeregrineEngine
 from repro.morph.session import MorphingSession, compare_baseline_and_morphed
+from repro.serve.protocol import encode_value
 
 
 class TestAllList:
@@ -159,3 +163,189 @@ class TestDeprecationShims:
             MorphingSession(
                 PeregrineEngine(), None, True, 0.6, None, 1, None, "extra"
             )
+
+
+class TestRunOptions:
+    def test_defaults_round_trip(self):
+        opts = repro.RunOptions()
+        assert repro.RunOptions.from_dict(opts.to_dict()) == opts
+
+    def test_wire_round_trip_through_json(self):
+        opts = repro.RunOptions(
+            engine="autozero",
+            aggregation="mni",
+            morph=False,
+            strategy="direct",
+            workers=3,
+            margin=1.5,
+            batch_roots=64,
+            deadline_seconds=10.0,
+            checkpoint="ckpt.jsonl",
+            retry=2,
+            trace="out.jsonl",
+            progress=True,
+        )
+        wire = json.loads(json.dumps(opts.to_dict()))
+        rebuilt = repro.RunOptions.from_dict(wire)
+        # retry=2 serializes as the int shorthand; everything else exact.
+        assert rebuilt.replace(retry=opts.retry) == opts
+
+    def test_retry_policy_round_trips(self):
+        policy = repro.RetryPolicy(max_retries=5, backoff_seconds=0.1, seed=7)
+        opts = repro.RunOptions(retry=policy)
+        rebuilt = repro.RunOptions.from_dict(
+            json.loads(json.dumps(opts.to_dict()))
+        )
+        assert rebuilt.retry == policy
+
+    def test_sparse_request_body_uses_defaults(self):
+        opts = repro.RunOptions.from_dict({"workers": 4})
+        assert opts.workers == 4
+        assert opts.engine == "peregrine"
+        assert opts.morph is True
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"strategy": "greedy"},
+            {"workers": 0},
+            {"workers": "two"},
+            {"margin": 0},
+            {"margin": -1.0},
+            {"batch_roots": 0},
+            {"deadline_seconds": 0},
+            {"aggregation": "median"},
+            {"engine": ""},
+            {"retry": "forever"},
+        ],
+    )
+    def test_validation_rejects_bad_values(self, bad):
+        with pytest.raises((TypeError, ValueError)):
+            repro.RunOptions(**bad)
+
+    def test_validation_messages_preserved(self):
+        with pytest.raises(ValueError, match="unknown strategy 'greedy'"):
+            repro.RunOptions(strategy="greedy")
+        with pytest.raises(ValueError, match="batch_roots must be >= 1"):
+            repro.RunOptions(batch_roots=0)
+
+    def test_replace_revalidates(self):
+        opts = repro.RunOptions()
+        assert opts.replace(workers=8).workers == 8
+        with pytest.raises(ValueError):
+            opts.replace(strategy="greedy")
+        # frozen: the original is untouched by replace
+        assert opts.workers == 1
+
+    def test_local_only_objects_refuse_the_wire(self):
+        cases = {
+            "trace": repro.Tracer(),
+            "cache": repro.MeasurementCache(),
+            "plan_cache": repro.PlanCache(),
+            "faults": repro.FaultPlan([]),
+        }
+        for field, live in cases.items():
+            with pytest.raises(ValueError, match=field):
+                repro.RunOptions(**{field: live}).to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="wokers"):
+            repro.RunOptions.from_dict({"wokers": 4})
+
+    def test_aggregation_instance_serializes_as_name(self):
+        opts = repro.RunOptions(aggregation=repro.MNIAggregation())
+        assert opts.to_dict()["aggregation"] == "mni"
+
+    def test_session_consumes_options_directly(self, small_graph):
+        opts = repro.RunOptions(aggregation="count", morph=False, margin=0.9)
+        session = MorphingSession(PeregrineEngine(), options=opts)
+        assert session.options is opts
+        assert session.enabled is False
+        assert session.margin == 0.9
+
+    def test_session_rejects_options_plus_keywords(self):
+        with pytest.raises(TypeError, match="not both"):
+            MorphingSession(
+                PeregrineEngine(), options=repro.RunOptions(), workers=2
+            )
+
+
+#: The four aggregation wire names crossed with every engine below.
+_AGGREGATIONS = ("count", "mni", "matches", "exists")
+
+
+class TestRunOptionsShims:
+    @pytest.fixture(autouse=True)
+    def fresh_warning_registry(self):
+        _compat._reset()
+        yield
+        _compat._reset()
+
+    def test_each_legacy_kwarg_warns_exactly_once(self, small_graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.run(small_graph, [TRIANGLE], workers=1, margin=0.7)
+            repro.run(small_graph, [TRIANGLE], workers=1, margin=0.7)
+        deprecations = [
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
+        assert sum("workers" in m for m in deprecations) == 1
+        assert sum("margin" in m for m in deprecations) == 1
+        assert all("RunOptions" in m for m in deprecations)
+
+    def test_options_spelling_does_not_warn(self, small_graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.run(
+                small_graph, [TRIANGLE], options=repro.RunOptions(workers=1)
+            )
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_unknown_kwarg_raises(self, small_graph):
+        with pytest.raises(TypeError, match="wokers"):
+            repro.run(small_graph, [TRIANGLE], wokers=4)
+
+    def test_legacy_kwargs_layer_onto_options(self, small_graph):
+        """A legacy kwarg overrides the same field of a given options."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = repro.run(
+                small_graph,
+                [TRIANGLE],
+                options=repro.RunOptions(morph=False),
+                aggregation="exists",
+            )
+        assert result.results[TRIANGLE] is True
+        assert not result.morphing_enabled
+
+    @pytest.mark.parametrize("aggregation", _AGGREGATIONS)
+    @pytest.mark.parametrize("engine_name", sorted(repro.ENGINES))
+    def test_legacy_matrix_byte_identical_to_options(
+        self, small_graph, engine_name, aggregation
+    ):
+        patterns = list(motif_patterns(3))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = repro.run(
+                small_graph, patterns, engine_name, aggregation=aggregation
+            )
+        typed = repro.run(
+            small_graph,
+            patterns,
+            engine_name,
+            options=repro.RunOptions(aggregation=aggregation),
+        )
+        assert legacy.results == typed.results
+        # Byte-identical on the wire encoding (deterministic element order).
+        legacy_wire = json.dumps(
+            {str(i): encode_value(v) for i, v in enumerate(legacy.results.values())}
+        )
+        typed_wire = json.dumps(
+            {str(i): encode_value(v) for i, v in enumerate(typed.results.values())}
+        )
+        assert legacy_wire == typed_wire
