@@ -41,6 +41,7 @@ from repro.bench.trajectory import (
     TrialSummary,
     WorkloadStats,
     collect_record,
+    collect_serve_stats,
     iqr,
     list_record_paths,
     load_record,
@@ -67,6 +68,7 @@ __all__ = [
     "breakdown_chart",
     "breakdown_row",
     "collect_record",
+    "collect_serve_stats",
     "compare_to_history",
     "compare_workload",
     "comparison_table",

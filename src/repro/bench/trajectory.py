@@ -45,6 +45,7 @@ __all__ = [
     "TrialSummary",
     "WorkloadStats",
     "collect_record",
+    "collect_serve_stats",
     "list_record_paths",
     "load_record",
     "load_trajectory",
@@ -576,19 +577,135 @@ def record_suite(quick: bool = False) -> list[WorkloadSpec]:
     return specs
 
 
+def collect_serve_stats(
+    trials: int = 3,
+    quick: bool = False,
+    log: Callable[[str], None] | None = None,
+) -> WorkloadStats:
+    """Measure served-query latency and condense it to workload columns.
+
+    A threadless :class:`~repro.serve.MiningServer` answers a burst of
+    3-motif queries per trial (result cache off, so every query goes
+    through the full session path); the baseline column is a bare
+    :class:`~repro.morph.session.MorphingSession` given the *same*
+    persistent plan/measurement caches the daemon holds, so the
+    ``baseline/morphed`` ratio isolates the dispatch+observability
+    envelope rather than the resident caches' advantage. On cache-warm
+    sub-millisecond queries that envelope dominates (served ≈ a few ×
+    bare); the trajectory watches it for drift, not for speedup.
+    The daemon's own streaming histograms supply the quantile columns —
+    ``serve.latency.total.p50/p90/p99`` and friends land in the
+    free-form ``counters`` dict, so ``bench compare`` carries them
+    across PRs without a schema bump.
+    """
+    from repro.core.atlas import motif_patterns
+    from repro.core.parser import format_pattern
+    from repro.engines.peregrine.engine import PeregrineEngine
+    from repro.graph import datasets
+    from repro.morph.cache import MeasurementCache, PlanCache
+    from repro.morph.session import MorphingSession
+    from repro.serve import GraphRegistry, MiningServer
+
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    graph = datasets.mico()
+    patterns = list(motif_patterns(3))
+    texts = [format_pattern(p) for p in patterns]
+    queries_per_trial = 2 if quick else 4
+    if log is not None:
+        log(
+            f"measuring serve/3-MC-latency on {graph.name} "
+            f"({trials} trials x {queries_per_trial} queries)"
+        )
+
+    registry = GraphRegistry(share=False)
+    registry.add(graph.name, graph)
+    server = MiningServer(registry=registry)
+    import time as _time
+
+    served_samples: list[float] = []
+    bare_samples: list[float] = []
+    try:
+        request = {
+            "op": "run",
+            "graph": graph.name,
+            "patterns": texts,
+            "use_result_cache": False,
+        }
+        server.handle(dict(request))  # warm plan cache + import paths
+        bare_session = MorphingSession(
+            PeregrineEngine(),
+            enabled=True,
+            cache=MeasurementCache(),
+            plan_cache=PlanCache(),
+        )
+        bare_session.run(graph, patterns)  # warm its caches identically
+        for _ in range(trials):
+            start = _time.perf_counter()
+            for _ in range(queries_per_trial):
+                response = server.handle(dict(request))
+                if not response.get("ok"):
+                    raise RuntimeError(
+                        f"serve workload query failed: {response.get('error')}"
+                    )
+            served_samples.append(
+                (_time.perf_counter() - start) / queries_per_trial
+            )
+            start = _time.perf_counter()
+            for _ in range(queries_per_trial):
+                bare_session.run(graph, patterns)
+            bare_samples.append(
+                (_time.perf_counter() - start) / queries_per_trial
+            )
+        histograms = server.metrics.histogram_snapshots()
+    finally:
+        server.close()
+
+    counters: dict[str, float] = {}
+    for name in (
+        "serve.latency.total",
+        "serve.latency.queue_wait",
+        "serve.latency.first_result",
+    ):
+        summary = histograms.get(name, {})
+        for quantile in ("p50", "p90", "p99", "max"):
+            if quantile in summary:
+                counters[f"{name}.{quantile}"] = float(summary[quantile])
+    stage_seconds = {
+        stage: float(
+            histograms.get(f"serve.stage.{stage}.peregrine", {}).get("p50", 0.0)
+        )
+        for stage in ("plan", "match", "convert")
+    }
+    return WorkloadStats(
+        workload="serve/3-MC-latency",
+        graph=graph.name,
+        trials=trials,
+        workers=1,
+        morphed=TrialSummary.from_samples(served_samples),
+        baseline=TrialSummary.from_samples(bare_samples),
+        stage_seconds=stage_seconds,
+        counters=counters,
+    )
+
+
 def collect_record(
     trials: int = 3,
     quick: bool = False,
     suite: Sequence[WorkloadSpec] | None = None,
     meta: Mapping[str, Any] | None = None,
     log: Callable[[str], None] | None = None,
+    serve: bool = True,
 ) -> BenchRecord:
     """Measure the record suite and build the (unsaved) record.
 
     Each workload runs ``trials`` times through
     :func:`~repro.bench.harness.compare_workload`; the first trial is
     traced so the record stores the cost model's rank-agreement summary
-    (the drift signal :mod:`repro.bench.regress` watches).
+    (the drift signal :mod:`repro.bench.regress` watches). With
+    ``serve`` (the default) the record also carries the
+    :func:`collect_serve_stats` served-latency workload, whose columns
+    are the daemon's own histogram quantiles.
     """
     from repro.bench.harness import compare_workload
     from repro.observe.audit import rank_agreement
@@ -622,6 +739,10 @@ def collect_record(
             rows.append(row)
     full_meta = {"source": "bench-record", "quick": quick, "trials": trials}
     full_meta.update(meta or {})
-    return BenchRecord.from_rows(
+    record = BenchRecord.from_rows(
         rows, meta=full_meta, rank_agreements=agreements
     )
+    if serve:
+        stats = collect_serve_stats(trials=trials, quick=quick, log=log)
+        record.workloads[stats.key] = stats
+    return record

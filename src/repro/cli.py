@@ -13,6 +13,7 @@ Usage examples::
     python -m repro.cli bench compare
     python -m repro.cli serve --graphs mico --port 7071
     python -m repro.cli submit --port 7071 --graph mico --pattern 4CL
+    python -m repro.cli top 7071
 
 Pattern names are the paper's (Figure 1 / Figure 11a): ``triangle``,
 ``4S``, ``TT``, ``C4``, ``C4C``, ``4CL``, ``4P``, ``p1``..``p10``; a
@@ -359,7 +360,10 @@ def cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         workers=args.serve_workers,
+        slow_factor=args.slow_factor,
+        flight_capacity=args.flight_capacity,
     )
+    _install_dump_handler(server, args.dump_dir)
     host, port = server.start()
     print(f"# listening on {host}:{port} (Ctrl-C or the shutdown op stops)",
           file=sys.stderr)
@@ -371,6 +375,38 @@ def cmd_serve(args) -> int:
     finally:
         server.close()
     return 0
+
+
+def _install_dump_handler(server, dump_dir) -> None:
+    """SIGUSR1 → dump the flight recorder (main thread only, best effort)."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal handlers can only be installed from the main thread
+    usr1 = getattr(signal, "SIGUSR1", None)
+    if usr1 is None:
+        return  # platform without SIGUSR1 (Windows)
+
+    def _dump(_signum, _frame):
+        directory, files = server.dump_flight(dump_dir)
+        print(
+            f"# flight recorder dumped: {len(files)} files in {directory}",
+            file=sys.stderr,
+        )
+
+    signal.signal(usr1, _dump)
+
+
+def cmd_top(args) -> int:
+    """Live dashboard over a running ``repro serve`` daemon."""
+    from repro.serve import TopDashboard, connect
+
+    client = connect(port=args.port, host=args.host, client_id=args.client)
+    dashboard = TopDashboard(client, interval=args.interval)
+    iterations = 1 if args.once else args.iterations
+    rendered = dashboard.run(iterations=iterations)
+    return 0 if rendered else 1
 
 
 def cmd_submit(args) -> int:
@@ -572,6 +608,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-share", action="store_true",
         help="skip the shared-memory CSR export at load time",
     )
+    serve.add_argument(
+        "--slow-factor", type=float, default=8.0, metavar="K",
+        help="flight recorder slow-query threshold: measured match time "
+        "> K x plan-predicted time is retained as an anomaly (default 8)",
+    )
+    serve.add_argument(
+        "--flight-capacity", type=int, default=64, metavar="N",
+        help="flight recorder ring size: last N query traces kept "
+        "(anomalies are retained separately; default 64)",
+    )
+    serve.add_argument(
+        "--dump-dir", metavar="PATH",
+        help="where SIGUSR1 dumps flight-recorder traces "
+        "(default: a fresh temp directory per dump)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard for a running repro serve daemon: QPS, "
+        "latency quantiles, queue depth, per-engine breakdowns, slow queries",
+    )
+    top.add_argument("port", type=int, help="the daemon's port")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="poll/redraw interval (each frame is one stats request)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (scripting/CI)",
+    )
+    top.add_argument(
+        "--client", default="top", help="client id shown to the daemon"
+    )
 
     submit = sub.add_parser(
         "submit", help="submit one query to a running repro serve daemon"
@@ -623,6 +697,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "top": cmd_top,
     }
     return handlers[args.command](args)
 

@@ -511,6 +511,12 @@ class MorphingSession:
                 self.engine.batch_roots = previous_batch
                 self.engine.progress = previous_progress
                 self.engine.busy = False
+                if self.progress is not None:
+                    # A run that raised mid-render would otherwise leave
+                    # a dangling \r-overwritten line for the traceback
+                    # to print over; close() terminates it (and is a
+                    # no-op after a normal finish()).
+                    self.progress.close()
         result.executor_seconds = setup_seconds + teardown_seconds
         if tracer is not None:
             tracer.metrics.record_engine_stats(result.stats)

@@ -30,6 +30,7 @@ from repro.observe.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.observe.histogram import StreamingHistogram, WindowGauge
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.progress import ProgressReporter, ProgressSnapshot
 from repro.observe.tracer import Span, Tracer, timed_span
@@ -41,7 +42,9 @@ __all__ = [
     "ProgressSnapshot",
     "RunTrace",
     "Span",
+    "StreamingHistogram",
     "Tracer",
+    "WindowGauge",
     "load_trace",
     "rank_agreement",
     "timed_span",

@@ -11,15 +11,27 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.observe.histogram import StreamingHistogram, WindowGauge
+
 __all__ = ["MetricsRegistry"]
 
 
 class MetricsRegistry:
-    """Named counters (monotonic sums) and gauges (last-write-wins)."""
+    """Named counters (monotonic sums), gauges (last-write-wins),
+    streaming histograms (:meth:`observe`) and windowed gauges
+    (:meth:`sample_window`).
+
+    :meth:`snapshot` deliberately stays counters + gauges only — the
+    flat view older exporters and the trace-invariance tests consume —
+    while distributions are read through :meth:`histogram_snapshots`
+    and :meth:`window`.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, Any] = {}
+        self._histograms: dict[str, StreamingHistogram] = {}
+        self._windows: dict[str, WindowGauge] = {}
 
     # -- write -------------------------------------------------------------
 
@@ -29,6 +41,32 @@ class MetricsRegistry:
 
     def gauge(self, name: str, value: Any) -> None:
         """Set gauge ``name`` to ``value`` (overwrites)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the streaming histogram ``name``.
+
+        The histogram is created on first use with the default latency
+        layout (1µs..10ks, 10 buckets/decade); the record path is O(1)
+        and allocation-free thereafter.
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = StreamingHistogram()
+        hist.record(value)
+
+    def sample_window(self, name: str, value: float) -> None:
+        """Record a sample into window gauge ``name`` (and gauge ``name``).
+
+        The plain gauge keeps its last-write-wins view of the same
+        quantity, so readers of :meth:`snapshot` still see the current
+        value while :meth:`window` exposes the min/max envelope since
+        the previous window read.
+        """
+        window = self._windows.get(name)
+        if window is None:
+            window = self._windows[name] = WindowGauge()
+        window.record(value)
         self._gauges[name] = value
 
     def record_engine_stats(self, stats, prefix: str = "engine.") -> None:
@@ -57,10 +95,20 @@ class MetricsRegistry:
         self.add(prefix + "patterns_matched", stats.patterns_matched)
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry in: counters add, gauges overwrite."""
+        """Fold another registry in: counters add, gauges overwrite,
+        histograms merge bucket-wise (layouts must match)."""
         for name, value in other._counters.items():
             self.add(name, value)
         self._gauges.update(other._gauges)
+        for name, hist in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = StreamingHistogram(
+                    lo=hist.lo,
+                    hi=hist.hi,
+                    buckets_per_decade=hist.buckets_per_decade,
+                )
+            mine.merge(hist)
 
     # -- read --------------------------------------------------------------
 
@@ -69,14 +117,45 @@ class MetricsRegistry:
             return self._counters[name]
         return self._gauges.get(name, default)
 
+    def histogram(self, name: str) -> StreamingHistogram:
+        """The streaming histogram ``name`` (created empty on first use)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = StreamingHistogram()
+        return hist
+
+    def window(self, name: str) -> WindowGauge:
+        """The window gauge ``name`` (created empty on first use)."""
+        window = self._windows.get(name)
+        if window is None:
+            window = self._windows[name] = WindowGauge()
+        return window
+
+    def histogram_snapshots(self) -> dict[str, dict[str, float]]:
+        """``name -> quantile summary`` for every non-empty histogram."""
+        return {
+            name: hist.snapshot()
+            for name, hist in sorted(self._histograms.items())
+            if hist.count
+        }
+
     def snapshot(self) -> dict[str, Any]:
-        """Flat ``name -> value`` view (counters and gauges together)."""
+        """Flat ``name -> value`` view (counters and gauges together).
+
+        Histograms and windows are excluded by design: this is the flat
+        scalar view; read distributions via
+        :meth:`histogram_snapshots` / :meth:`window`.
+        """
         out: dict[str, Any] = dict(self._counters)
         out.update(self._gauges)
         return out
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges)
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._counters or name in self._gauges
+        return (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        )

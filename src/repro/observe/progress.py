@@ -104,6 +104,7 @@ class ProgressReporter:
         self._started_at = 0.0
         self._last_emit = float("-inf")
         self._active = False
+        self._rendered = False
         self.events: list[tuple[str, str]] = []
 
     @property
@@ -164,6 +165,27 @@ class ProgressReporter:
             return
         self._emit(final=True)
         self._active = False
+
+    def close(self) -> None:
+        """Terminate the current line without a final summary.
+
+        The ``finally`` counterpart to :meth:`finish`: when a run
+        raises mid-render, the last ``\\r``-overwritten line would
+        otherwise be left dangling and the traceback would print on top
+        of it. ``close`` writes a bare newline iff a line was rendered
+        and :meth:`finish` has not already terminated it — so the happy
+        path (``finish`` then ``close``) emits nothing extra.
+        """
+        if not self._active:
+            return
+        self._active = False
+        if not self._rendered:
+            return
+        stream = self._stream
+        if stream is not None:
+            stream.write("\n")
+            stream.flush()
+        self._rendered = False
 
     def event(self, kind: str, detail: str) -> None:
         """Record an out-of-band recovery event (retry/fallback/…).
@@ -262,4 +284,7 @@ class ProgressReporter:
         stream.write(("\r" + "  ".join(parts)).ljust(79))
         if final:
             stream.write("\n")
+            self._rendered = False
+        else:
+            self._rendered = True
         stream.flush()

@@ -88,18 +88,25 @@ class Tracer:
     afterwards (:meth:`adopt`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tags: dict[str, Any] | None = None) -> None:
         from repro.observe.metrics import MetricsRegistry
 
         self.spans: list[Span] = []
         self.audits: list[Any] = []  # CostAuditRecord, kept loose for pickling
         self.metrics = MetricsRegistry()
+        #: Attributes stamped into *every* span this tracer records or
+        #: adopts — the propagation mechanism for per-query context
+        #: (the daemon sets ``{"query_id": ...}`` so a query's whole
+        #: span tree, including worker shards, carries its id).
+        self.tags: dict[str, Any] = dict(tags) if tags else {}
         self._stack: list[int] = []
         self._next_id = 1
 
     # -- recording ---------------------------------------------------------
 
     def _new_span(self, name: str, attributes: dict[str, Any]) -> Span:
+        if self.tags:
+            attributes = {**self.tags, **attributes}
         span = Span(
             span_id=self._next_id,
             parent_id=self._stack[-1] if self._stack else None,
@@ -140,7 +147,9 @@ class Tracer:
         children of the currently open span. With ``clamp`` (the
         default) every adopted interval is clipped into its new
         parent's live window, preserving the nesting invariant across
-        clock domains.
+        clock domains. This tracer's :attr:`tags` are stamped into
+        every adopted span (the span's own attributes win on
+        collision), so per-query context survives the worker hop.
         """
         if not spans:
             return
@@ -163,6 +172,9 @@ class Tracer:
             if lo is not None:
                 start = min(max(start, lo), hi)
                 end = min(max(end, lo), hi)
+            attributes = dict(span.attributes)
+            if self.tags:
+                attributes = {**self.tags, **attributes}
             self.spans.append(
                 Span(
                     span_id=id_map[span.span_id],
@@ -170,7 +182,7 @@ class Tracer:
                     name=span.name,
                     start=start,
                     end=end,
-                    attributes=dict(span.attributes),
+                    attributes=attributes,
                 )
             )
 

@@ -20,24 +20,39 @@ Topology::
 
 The wire request schema is :meth:`repro.RunOptions.to_dict` — the same
 object that configures an in-process run configures a remote one.
+
+Live observability: every run response carries a daemon-minted
+``query_id`` stamped into the query's whole span tree, the ``stats``
+op returns a versioned snapshot (latency histogram quantiles,
+queue-depth window, flight-recorder occupancy — checked by
+:func:`validate_stats`), the :class:`FlightRecorder` retains recent
+and anomalous query traces for the ``dump`` op / ``SIGUSR1``, and
+``repro top <port>`` (:class:`TopDashboard`) renders the whole thing
+live.
 """
 
 from repro.serve.client import Client, ServeResult, connect
-from repro.serve.protocol import decode_value, encode_value
+from repro.serve.flightrecorder import FlightRecord, FlightRecorder
+from repro.serve.protocol import decode_value, encode_value, validate_stats
 from repro.serve.registry import GraphRegistry, ResidentGraph
 from repro.serve.scheduler import AdmissionPolicy, Query, QueryScheduler
 from repro.serve.server import MiningServer
+from repro.serve.top import TopDashboard
 
 __all__ = [
     "AdmissionPolicy",
     "Client",
+    "FlightRecord",
+    "FlightRecorder",
     "GraphRegistry",
     "MiningServer",
     "Query",
     "QueryScheduler",
     "ResidentGraph",
     "ServeResult",
+    "TopDashboard",
     "connect",
     "decode_value",
     "encode_value",
+    "validate_stats",
 ]

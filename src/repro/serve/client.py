@@ -43,6 +43,9 @@ class ServeResult:
     seconds: dict[str, float] = field(default_factory=dict)
     #: Service-contract metrics (``plan.cache.hit`` / ``plan.cache.miss``).
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Daemon-minted id of this query — the handle for finding its
+    #: trace in the flight recorder (``stats``/``dump`` ops).
+    query_id: str | None = None
 
 
 class Client:
@@ -107,8 +110,30 @@ class Client:
         return self._checked({"op": "load", "graph": name})["graph"]
 
     def stats(self) -> dict:
-        """The daemon's metrics snapshot, scheduler and cache state."""
+        """The daemon's versioned observability snapshot.
+
+        Metrics, latency histogram quantiles, the queue-depth window,
+        scheduler/cache state and flight-recorder occupancy — the
+        schema :func:`repro.serve.validate_stats` checks.
+        """
         return self._checked({"op": "stats"})
+
+    def health(self) -> dict:
+        """Cheap liveness probe: status, uptime, query count, depth."""
+        return self._checked({"op": "health"})
+
+    def dump(self, directory: str | None = None) -> dict:
+        """Ask the daemon to dump its flight recorder to ``directory``.
+
+        Returns ``{"dir": ..., "files": [...]}`` — JSONL and Chrome
+        traces for every retained query plus an ``index.json``. With
+        ``directory=None`` the daemon picks a temp directory (and
+        reports it back).
+        """
+        payload: dict[str, Any] = {"op": "dump"}
+        if directory is not None:
+            payload["dir"] = str(directory)
+        return self._checked(payload)
 
     def shutdown(self) -> None:
         """Ask the daemon to stop (idempotent; returns once acknowledged)."""
@@ -159,6 +184,7 @@ class Client:
             coverage=float(response.get("coverage", 1.0)),
             seconds=dict(response.get("seconds", {})),
             metrics=dict(response.get("metrics", {})),
+            query_id=response.get("query_id"),
         )
 
 

@@ -19,10 +19,81 @@ from __future__ import annotations
 import json
 from typing import Any, BinaryIO
 
-__all__ = ["decode_value", "encode_value", "read_message", "write_message"]
+__all__ = [
+    "decode_value",
+    "encode_value",
+    "read_message",
+    "validate_stats",
+    "write_message",
+]
 
 #: Tag names for the compound types that must survive the round-trip.
 _TAGS = ("tuple", "list", "frozenset", "set", "dict")
+
+#: Version stamped into every ``stats`` response. Bumped whenever the
+#: snapshot's shape changes so dashboards and scrapers can detect a
+#: daemon speaking a different schema instead of mis-parsing it.
+#: Version 2 added: ``schema_version``, ``histograms``, ``queue``
+#: (window-gauge envelope), ``flight`` (recorder occupancy + recent
+#: anomalies) and per-query latency distributions.
+STATS_SCHEMA_VERSION = 2
+
+#: ``stats`` snapshot contract: required key -> required type(s).
+_STATS_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "schema_version": int,
+    "metrics": dict,
+    "scheduler": dict,
+    "graphs": list,
+    "result_cache_entries": int,
+    "plan_cache": dict,
+    "uptime_seconds": (int, float),
+    "histograms": dict,
+    "queue": dict,
+    "flight": dict,
+}
+
+
+def validate_stats(snapshot: dict) -> dict:
+    """Check a ``stats`` response against the version-2 schema.
+
+    Raises :class:`ValueError` naming every violation at once (missing
+    or mistyped top-level keys, malformed histogram summaries, a
+    flight-recorder section without occupancy fields); returns the
+    snapshot unchanged when it validates, so callers can chain it.
+    """
+    problems: list[str] = []
+    for key, expected in _STATS_SCHEMA.items():
+        if key not in snapshot:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(snapshot[key], expected):
+            problems.append(
+                f"key {key!r} should be {expected}, "
+                f"got {type(snapshot[key]).__name__}"
+            )
+    if not problems:
+        if snapshot["schema_version"] != STATS_SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {snapshot['schema_version']!r} != "
+                f"{STATS_SCHEMA_VERSION}"
+            )
+        for name, summary in snapshot["histograms"].items():
+            if not isinstance(summary, dict) or "count" not in summary:
+                problems.append(f"histogram {name!r} has no count")
+            elif summary["count"] > 0 and not all(
+                q in summary for q in ("p50", "p90", "p99", "max")
+            ):
+                problems.append(f"histogram {name!r} is missing quantiles")
+        for key in ("last", "min", "max", "samples"):
+            if key not in snapshot["queue"]:
+                problems.append(f"queue window is missing {key!r}")
+        for key in ("recorded", "recent", "capacity", "anomalies"):
+            if key not in snapshot["flight"]:
+                problems.append(f"flight section is missing {key!r}")
+    if problems:
+        raise ValueError(
+            "stats snapshot violates schema: " + "; ".join(problems)
+        )
+    return snapshot
 
 
 def encode_value(value: Any) -> Any:

@@ -17,7 +17,11 @@ is most loaded. The scheduler makes the contention policy explicit:
 
 Every verdict lands in the metrics registry
 (``serve.admission.accepted`` / ``serve.admission.rejected.<reason>``)
-and the live depth in the ``serve.queue.depth`` gauge.
+and the live depth in the ``serve.queue.depth`` gauge — recorded
+through a :class:`~repro.observe.histogram.WindowGauge` on every queue
+transition *and* by the server's periodic sampler, so a stats snapshot
+reports the depth's min/max envelope since the previous snapshot, not
+just whatever the depth was at the last admission.
 """
 
 from __future__ import annotations
@@ -52,12 +56,22 @@ class Query:
         client: str = "anonymous",
         priority: int = 0,
         deadline: Deadline | None = None,
+        query_id: str | None = None,
     ) -> None:
         self.request = request
         self.client = client
         self.priority = priority
         self.deadline = deadline
+        #: Server-minted id propagated through spans, responses and the
+        #: flight recorder (``None`` for bare scheduler-level use).
+        self.query_id = query_id
         self.response: dict | None = None
+        #: Scheduler-clock timestamps, stamped by the scheduler: at
+        #: admission, at dispatch to a worker, and at completion. They
+        #: feed the queue-wait and end-to-end latency histograms.
+        self.submitted_at: float | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
         self._done = threading.Event()
 
     def finish(self, response: dict) -> None:
@@ -158,10 +172,11 @@ class QueryScheduler:
                 client_inflight=self._inflight.get(query.client, 0),
             )
             if verdict == ACCEPTED:
+                query.submitted_at = self.clock()
                 self._inflight[query.client] = self._inflight.get(query.client, 0) + 1
                 heapq.heappush(self._heap, (-query.priority, self._seq, query))
                 self._seq += 1
-                self.metrics.gauge("serve.queue.depth", len(self._heap))
+                self.metrics.sample_window("serve.queue.depth", len(self._heap))
                 self._available.notify()
         self.metrics.add(f"serve.admission.{verdict.replace(':', '.')}")
         return verdict
@@ -184,13 +199,20 @@ class QueryScheduler:
                 if not self._heap:
                     return None
                 _, _, query = heapq.heappop(self._heap)
-                self.metrics.gauge("serve.queue.depth", len(self._heap))
+                query.started_at = self.clock()
+                self.metrics.sample_window("serve.queue.depth", len(self._heap))
             if query.deadline is not None and query.deadline.expired():
                 self.metrics.add("serve.admission.rejected.deadline")
                 self._release(query)
-                query.finish(
-                    {"ok": False, "error": REJECTED_DEADLINE, "admission": REJECTED_DEADLINE}
-                )
+                response = {
+                    "ok": False,
+                    "error": REJECTED_DEADLINE,
+                    "admission": REJECTED_DEADLINE,
+                }
+                if query.query_id is not None:
+                    response["query_id"] = query.query_id
+                query.finished_at = self.clock()
+                query.finish(response)
                 continue
             return query
 
@@ -207,8 +229,11 @@ class QueryScheduler:
             response = execute(query)
         except Exception as exc:  # noqa: BLE001 - workers must not die
             response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            if query.query_id is not None:
+                response["query_id"] = query.query_id
         finally:
             self._release(query)
+        query.finished_at = self.clock()
         query.finish(response)
         return True
 
@@ -228,6 +253,19 @@ class QueryScheduler:
         with self._lock:
             return len(self._heap)
 
+    def sample_depth(self) -> int:
+        """Record the current depth into the ``serve.queue.depth`` window.
+
+        Transitions (submit/pop/close) already sample; this adds
+        *time-based* samples so the window's min/max envelope is honest
+        even across a quiet-then-bursty interval — the server's sampler
+        thread calls it periodically.
+        """
+        with self._lock:
+            depth = len(self._heap)
+            self.metrics.sample_window("serve.queue.depth", depth)
+            return depth
+
     def inflight(self, client: str) -> int:
         """Queued + executing queries charged to ``client``."""
         with self._lock:
@@ -239,7 +277,7 @@ class QueryScheduler:
             self._closed = True
             pending = [query for _, _, query in self._heap]
             self._heap.clear()
-            self.metrics.gauge("serve.queue.depth", 0)
+            self.metrics.sample_window("serve.queue.depth", 0)
             self._available.notify_all()
         for query in pending:
             self._release(query)

@@ -30,17 +30,21 @@ from __future__ import annotations
 
 import socket
 import socketserver
+import tempfile
 import threading
 import time
 from typing import Any, Callable
 
 from repro.core.parser import format_pattern, parse_pattern
 from repro.morph.cache import MeasurementCache, PlanCache
+from repro.morph.profiles import profile_for
 from repro.morph.session import MorphingSession, PartialRunResult
+from repro.observe.export import RunTrace
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import Tracer
 from repro.options import RunOptions
 from repro.serve import protocol
+from repro.serve.flightrecorder import FlightRecord, FlightRecorder
 from repro.serve.registry import GraphRegistry
 from repro.serve.scheduler import ACCEPTED, AdmissionPolicy, Query, QueryScheduler
 
@@ -67,6 +71,18 @@ class MiningServer:
     synchronously in whichever thread submitted them (deterministic
     integration tests); any positive count gives real cross-query
     concurrency.
+
+    Observability: every run mints a ``query_id`` (returned in the
+    response and stamped into every span of the query's trace), the
+    metrics registry accumulates latency histograms
+    (``serve.latency.total`` / ``.queue_wait`` / ``.first_result`` and
+    per-engine ``serve.stage.{plan,match,convert}.<engine>``), and a
+    :class:`~repro.serve.flightrecorder.FlightRecorder` retains the
+    last ``flight_capacity`` query traces plus anomalies — errors,
+    partial answers, and queries whose measured match time exceeded
+    ``slow_factor ×`` their plan-predicted time. ``sample_interval``
+    throttles the background queue-depth sampler started by
+    :meth:`start`.
     """
 
     def __init__(
@@ -78,6 +94,9 @@ class MiningServer:
         workers: int = 2,
         clock: Callable[[], float] = time.monotonic,
         result_cache: bool = True,
+        slow_factor: float = 8.0,
+        flight_capacity: int = 64,
+        sample_interval: float = 0.25,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers!r}")
@@ -85,10 +104,14 @@ class MiningServer:
         self.metrics = MetricsRegistry()
         self.scheduler = QueryScheduler(policy=policy, clock=clock, metrics=self.metrics)
         self.plan_cache = PlanCache()
+        self.flight = FlightRecorder(
+            capacity=flight_capacity, slow_factor=slow_factor
+        )
         self.host = host
         self.port = port
         self.workers = workers
         self.result_cache_enabled = result_cache
+        self.sample_interval = sample_interval
         self._result_cache: dict[tuple, dict] = {}
         self._measurement_caches: dict[str, MeasurementCache] = {}
         self._lock = threading.Lock()
@@ -97,7 +120,8 @@ class MiningServer:
         self._worker_threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._closed = threading.Event()
-        self._started = 0.0
+        self._started: float | None = None
+        self._query_seq = 0
 
     # -- protocol dispatch ---------------------------------------------------
 
@@ -120,26 +144,89 @@ class MiningServer:
             if op == "run":
                 return self._handle_run(request)
             if op == "stats":
-                return {
-                    "ok": True,
-                    "metrics": self.metrics.snapshot(),
-                    "scheduler": self.scheduler.snapshot(),
-                    "graphs": self.registry.names(),
-                    "result_cache_entries": len(self._result_cache),
-                    "plan_cache": {
-                        "hits": self.plan_cache.hits,
-                        "misses": self.plan_cache.misses,
-                    },
-                    "uptime_seconds": (
-                        time.monotonic() - self._started if self._started else 0.0
-                    ),
-                }
+                return self._stats_snapshot()
+            if op == "health":
+                return self._health_snapshot()
+            if op == "dump":
+                directory, files = self.dump_flight(request.get("dir"))
+                return {"ok": True, "dir": directory, "files": files}
             if op == "shutdown":
-                threading.Thread(target=self.close, daemon=True).start()
+                # Over a socket the handler loop triggers close() only
+                # after the acknowledgement is flushed — starting it
+                # here would race the response write with the listener
+                # teardown. Dict-level callers have no handler loop, so
+                # close immediately on their behalf.
+                if self._tcp is None:
+                    threading.Thread(target=self.close, daemon=True).start()
                 return {"ok": True, "stopping": True}
             return {"ok": False, "error": f"unknown op {op!r}"}
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- observability snapshots ----------------------------------------------
+
+    def _uptime_seconds(self) -> float:
+        if self._started is None:
+            return 0.0
+        return max(0.0, self.scheduler.clock() - self._started)
+
+    def _stats_snapshot(self) -> dict:
+        """The versioned ``stats`` payload (:func:`protocol.validate_stats`).
+
+        Reading the ``queue`` section *ends* the current window-gauge
+        window: consecutive snapshots partition time, so each reports
+        the depth envelope since the previous one.
+        """
+        self.scheduler.sample_depth()
+        flight = self.flight.occupancy()
+        flight["recent_anomalies"] = [
+            record.describe() for record in self.flight.anomalies(8)
+        ]
+        return {
+            "ok": True,
+            "schema_version": protocol.STATS_SCHEMA_VERSION,
+            "metrics": self.metrics.snapshot(),
+            "histograms": self.metrics.histogram_snapshots(),
+            "queue": self.metrics.window("serve.queue.depth").read(),
+            "scheduler": self.scheduler.snapshot(),
+            "graphs": self.registry.names(),
+            "result_cache_entries": len(self._result_cache),
+            "plan_cache": {
+                "hits": self.plan_cache.hits,
+                "misses": self.plan_cache.misses,
+            },
+            "flight": flight,
+            "uptime_seconds": self._uptime_seconds(),
+        }
+
+    def _health_snapshot(self) -> dict:
+        """The cheap liveness payload (no histogram walks, no windows)."""
+        return {
+            "ok": True,
+            "status": "ok",
+            "schema_version": protocol.STATS_SCHEMA_VERSION,
+            "uptime_seconds": self._uptime_seconds(),
+            "queries": self.metrics.value("serve.queries", 0),
+            "queue_depth": self.scheduler.depth,
+        }
+
+    def dump_flight(self, directory: str | None = None) -> tuple[str, list[str]]:
+        """Write the flight recorder's retained traces to ``directory``.
+
+        With ``directory=None`` a fresh ``repro-flight-*`` temp
+        directory is created. Returns ``(directory, written paths)``.
+        Wired to the ``dump`` op and the CLI's ``SIGUSR1`` handler.
+        """
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-flight-")
+        files = self.flight.dump(str(directory))
+        self.metrics.add("serve.flight.dumps")
+        return str(directory), files
+
+    def _next_query_id(self) -> str:
+        with self._lock:
+            self._query_seq += 1
+            return f"q-{self._query_seq:06d}"
 
     def _handle_run(self, request: dict) -> dict:
         """Admit, schedule and (a)wait one mining query."""
@@ -149,10 +236,17 @@ class MiningServer:
             client=str(request.get("client", "anonymous")),
             priority=int(request.get("priority", 0)),
             deadline=self.scheduler.make_deadline(options.deadline_seconds),
+            query_id=self._next_query_id(),
         )
+        accepted_at = self.scheduler.clock()
         verdict = self.scheduler.submit(query)
         if verdict != ACCEPTED:
-            return {"ok": False, "error": verdict, "admission": verdict}
+            return {
+                "ok": False,
+                "error": verdict,
+                "admission": verdict,
+                "query_id": query.query_id,
+            }
         if not self._worker_threads:
             # Synchronous mode (``workers=0``, dict-level unit tests):
             # drain the queue in the calling thread until this query
@@ -161,6 +255,12 @@ class MiningServer:
                 self.scheduler.run_next(self._execute)
         response = query.wait(timeout=None)
         assert response is not None
+        # End-to-end latency includes queueing, execution *and* the
+        # submitter's wakeup — the number a client actually experiences.
+        with self._lock:
+            self.metrics.observe(
+                "serve.latency.total", self.scheduler.clock() - accepted_at
+            )
         return response
 
     # -- query execution -----------------------------------------------------
@@ -168,12 +268,31 @@ class MiningServer:
     def _execute(self, query: Query) -> dict:
         """Run one admitted query to a wire-ready response payload."""
         request = query.request
-        resident = self.registry.get(str(request["graph"]))
-        texts = list(request.get("patterns") or [])
-        if not texts:
-            raise ValueError("run request carries no patterns")
-        patterns = [parse_pattern(str(t)) for t in texts]
-        options = RunOptions.from_dict(request.get("options") or {})
+        try:
+            resident = self.registry.get(str(request["graph"]))
+            texts = list(request.get("patterns") or [])
+            if not texts:
+                raise ValueError("run request carries no patterns")
+            patterns = [parse_pattern(str(t)) for t in texts]
+            options = RunOptions.from_dict(request.get("options") or {})
+        except Exception as exc:
+            # A query that dies before a session exists (unknown graph,
+            # unparseable pattern, bad options) is still an anomaly the
+            # operator will ask about; retain it traceless.
+            self._record_flight(
+                query,
+                str(request.get("graph", "?")),
+                list(request.get("patterns") or []),
+                RunOptions(),
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+        queue_wait = 0.0
+        if query.submitted_at is not None and query.started_at is not None:
+            queue_wait = max(0.0, query.started_at - query.submitted_at)
+        with self._lock:
+            self.metrics.observe("serve.latency.queue_wait", queue_wait)
         use_cache = self.result_cache_enabled and bool(
             request.get("use_result_cache", True)
         )
@@ -185,31 +304,71 @@ class MiningServer:
                 self.metrics.add("serve.result_cache.hits")
                 response = dict(hit)
                 response["cached"] = True
+                response["query_id"] = query.query_id
+                self._observe_first_result(query)
+                self._record_flight(
+                    query,
+                    resident.name,
+                    texts,
+                    options,
+                    status="ok",
+                    cached=True,
+                    queue_wait=queue_wait,
+                )
                 return response
             self.metrics.add("serve.result_cache.misses")
 
-        tracer = Tracer()
+        tracer = Tracer(
+            tags={"query_id": query.query_id} if query.query_id else None
+        )
         from repro.api import resolve_engine
 
         engine = resolve_engine(options.engine, fresh=True)
-        with tracer.span(
-            "serve.query",
-            graph=resident.name,
-            client=query.client,
-            engine=options.engine,
-            patterns=len(patterns),
-        ):
-            session = MorphingSession(
-                engine,
-                options=options.replace(
-                    trace=tracer,
-                    plan_cache=self.plan_cache,
-                    cache=self._measurement_cache(resident.name),
-                ),
+        try:
+            with tracer.span(
+                "serve.query",
+                graph=resident.name,
+                client=query.client,
+                engine=options.engine,
+                patterns=len(patterns),
+            ):
+                session = MorphingSession(
+                    engine,
+                    options=options.replace(
+                        trace=tracer,
+                        plan_cache=self.plan_cache,
+                        cache=self._measurement_cache(resident.name),
+                    ),
+                )
+                result = session.run(resident.graph, patterns)
+        except Exception as exc:
+            # Retain the failure's trace before the scheduler converts
+            # the exception into an error response.
+            self._record_flight(
+                query,
+                resident.name,
+                texts,
+                options,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+                queue_wait=queue_wait,
+                tracer=tracer,
             )
-            result = session.run(resident.graph, patterns)
-        self.metrics.merge(tracer.metrics)
-        self.metrics.add("serve.queries")
+            raise
+        engine_label = str(options.engine)
+        with self._lock:
+            self.metrics.merge(tracer.metrics)
+            self.metrics.add("serve.queries")
+            self.metrics.observe(
+                f"serve.stage.plan.{engine_label}", result.transform_seconds
+            )
+            self.metrics.observe(
+                f"serve.stage.match.{engine_label}", result.match_seconds
+            )
+            self.metrics.observe(
+                f"serve.stage.convert.{engine_label}", result.convert_seconds
+            )
+        self._observe_first_result(query)
 
         partial = isinstance(result, PartialRunResult)
         response: dict[str, Any] = {
@@ -220,6 +379,7 @@ class MiningServer:
             },
             "cached": False,
             "partial": partial,
+            "query_id": query.query_id,
             "seconds": {
                 "transform": result.transform_seconds,
                 "match": result.match_seconds,
@@ -239,11 +399,104 @@ class MiningServer:
         elif use_cache:
             # Partial results never enter the cache: a later identical
             # query without deadline pressure deserves the full answer.
+            # The fresh query_id is stripped with the cached flag — a
+            # repeat query gets its own id stamped on the hit path.
             with self._lock:
                 self._result_cache[key] = {
-                    k: v for k, v in response.items() if k != "cached"
+                    k: v
+                    for k, v in response.items()
+                    if k not in ("cached", "query_id")
                 }
+        self._record_flight(
+            query,
+            resident.name,
+            texts,
+            options,
+            status="partial" if partial else "ok",
+            queue_wait=queue_wait,
+            tracer=tracer,
+        )
         return response
+
+    def _observe_first_result(self, query: Query) -> None:
+        """Record admission-to-first-result latency for ``query``."""
+        if query.submitted_at is None:
+            return
+        with self._lock:
+            self.metrics.observe(
+                "serve.latency.first_result",
+                max(0.0, self.scheduler.clock() - query.submitted_at),
+            )
+
+    def _record_flight(
+        self,
+        query: Query,
+        graph: str,
+        texts: list,
+        options: RunOptions,
+        status: str,
+        *,
+        cached: bool = False,
+        error: str | None = None,
+        queue_wait: float = 0.0,
+        tracer: Tracer | None = None,
+    ) -> FlightRecord:
+        """Retain one completed query in the flight recorder.
+
+        The cost-model-based slowness verdict compares the selection
+        audit's measured match seconds against its predicted cost
+        scaled by the engine profile's calibrated ``unit_seconds`` —
+        the same audit PR 3 emits offline, reused as an online SLO.
+        """
+        predicted_cost = predicted_seconds = measured_seconds = None
+        if tracer is not None:
+            selection = next(
+                (
+                    audit
+                    for audit in tracer.audits
+                    if getattr(audit, "role", None) == "selection"
+                ),
+                None,
+            )
+            if selection is not None:
+                predicted_cost = float(selection.predicted_cost)
+                predicted_seconds = (
+                    predicted_cost * profile_for(str(options.engine)).unit_seconds
+                )
+                measured_seconds = float(selection.measured_seconds)
+        seconds = 0.0
+        if query.submitted_at is not None:
+            seconds = max(0.0, self.scheduler.clock() - query.submitted_at)
+        trace = None
+        if tracer is not None:
+            trace = RunTrace.from_tracer(
+                tracer,
+                query_id=query.query_id,
+                client=query.client,
+                graph=graph,
+                engine=str(options.engine),
+            )
+        record = self.flight.record(
+            FlightRecord(
+                query_id=query.query_id or "",
+                client=query.client,
+                graph=graph,
+                engine=str(options.engine),
+                patterns=[str(t) for t in texts],
+                status=status,
+                cached=cached,
+                seconds=seconds,
+                queue_wait=queue_wait,
+                predicted_cost=predicted_cost,
+                predicted_seconds=predicted_seconds,
+                measured_seconds=measured_seconds,
+                error=error,
+                trace=trace,
+            )
+        )
+        if record.slow:
+            self.metrics.add("serve.slow_queries")
+        return record
 
     @staticmethod
     def _cache_key(fingerprint: str, texts: list, options: RunOptions) -> tuple:
@@ -287,7 +540,7 @@ class MiningServer:
         """
         if self._tcp is not None:
             return self.host, self.port
-        self._started = time.monotonic()
+        self._started = self.scheduler.clock()
         self._stop.clear()
         self._closed.clear()
         self._tcp = _TCPServer((self.host, self.port), _Handler, self)
@@ -310,6 +563,14 @@ class MiningServer:
             worker.start()
             self._worker_threads.append(worker)
         self._threads.extend(self._worker_threads)
+        if self.sample_interval > 0:
+            sampler = threading.Thread(
+                target=self._sampler_loop,
+                name="repro-serve-sampler",
+                daemon=True,
+            )
+            sampler.start()
+            self._threads.append(sampler)
         return self.host, self.port
 
     def _worker_loop(self) -> None:
@@ -317,18 +578,30 @@ class MiningServer:
             if not self.scheduler.run_next(self._execute, timeout=0.1):
                 continue
 
+    def _sampler_loop(self) -> None:
+        """Periodic queue-depth sampling (the satellite to admission-time
+        gauging): keeps the window gauge's envelope honest when the
+        queue drains or bursts between protocol requests."""
+        while not self._stop.wait(self.sample_interval):
+            self.scheduler.sample_depth()
+
     def wait(self, timeout: float | None = None) -> bool:
         """Block until :meth:`close` runs (the ``repro serve`` main loop)."""
         return self._closed.wait(timeout)
 
     def close(self) -> None:
-        """Stop listening, drain workers, release graphs and segments."""
+        """Stop listening, drain workers, release graphs and segments.
+
+        Idempotent and safe to race: the shutdown op's handler thread
+        and the ``repro serve`` main loop both call it.
+        """
         self._stop.set()
         self._closed.set()
-        if self._tcp is not None:
-            self._tcp.shutdown()
-            self._tcp.server_close()
-            self._tcp = None
+        with self._lock:
+            tcp, self._tcp = self._tcp, None
+        if tcp is not None:
+            tcp.shutdown()
+            tcp.server_close()
         self.scheduler.close()
         for thread in self._threads:
             if thread is not threading.current_thread():
@@ -374,4 +647,6 @@ class _Handler(socketserver.StreamRequestHandler):
             except (ConnectionError, socket.error, BrokenPipeError):
                 break
             if request.get("op") == "shutdown":
+                # The ack is on the wire; now the daemon may die.
+                threading.Thread(target=server.close, daemon=True).start()
                 break

@@ -271,7 +271,11 @@ class TestServerProtocol:
         cold = server.handle(dict(request))
         warm = server.handle(dict(request))
         assert not cold["cached"] and warm["cached"]
-        strip = lambda r: {k: v for k, v in r.items() if k != "cached"}
+        # Each submission gets its own daemon-minted id, even on a hit.
+        assert cold["query_id"] != warm["query_id"]
+        strip = lambda r: {
+            k: v for k, v in r.items() if k not in ("cached", "query_id")
+        }
         assert json.dumps(strip(warm), sort_keys=True) == json.dumps(
             strip(cold), sort_keys=True
         )
