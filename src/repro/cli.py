@@ -351,6 +351,20 @@ def cmd_serve(args) -> int:
             f"{'shared' if resident.payload is not None else 'private'})",
             file=sys.stderr,
         )
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.testing.faults import QueryFaultPlan
+
+        chaos = QueryFaultPlan.random(
+            num_queries=args.chaos_queries,
+            seed=args.chaos_seed,
+            p_fault=args.chaos_p,
+        )
+        print(
+            f"# CHAOS MODE: seeded fault plan over {args.chaos_queries} "
+            f"query indices (seed {args.chaos_seed}, p={args.chaos_p})",
+            file=sys.stderr,
+        )
     server = MiningServer(
         registry=registry,
         policy=AdmissionPolicy(
@@ -362,9 +376,37 @@ def cmd_serve(args) -> int:
         workers=args.serve_workers,
         slow_factor=args.slow_factor,
         flight_capacity=args.flight_capacity,
+        slo_p99=args.slo_p99,
+        protect_priority=args.protect_priority,
+        wall_budget_s=args.wall_budget,
+        rss_budget_bytes=(
+            int(args.rss_budget_mb * 1024 * 1024)
+            if args.rss_budget_mb is not None
+            else None
+        ),
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        drain_deadline_s=args.drain_deadline,
+        state_path=args.state,
+        chaos=chaos,
     )
     _install_dump_handler(server, args.dump_dir)
+    _install_drain_handler(server, args.dump_dir)
     host, port = server.start()
+    if args.resume:
+        try:
+            resumed = server.resume_from(args.resume)
+        except FileNotFoundError:
+            print(f"# no service state at {args.resume}; starting cold",
+                  file=sys.stderr)
+        else:
+            print(
+                f"# resumed: {len(resumed['graphs'])} graphs, "
+                f"{resumed['results']} cached results"
+                + (f", {len(resumed['failed'])} graphs failed"
+                   if resumed["failed"] else ""),
+                file=sys.stderr,
+            )
     print(f"# listening on {host}:{port} (Ctrl-C or the shutdown op stops)",
           file=sys.stderr)
     print(port, flush=True)
@@ -373,6 +415,8 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if server.drain_state == "accepting":
+            server.drain(args.dump_dir)
         server.close()
     return 0
 
@@ -398,6 +442,29 @@ def _install_dump_handler(server, dump_dir) -> None:
     signal.signal(usr1, _dump)
 
 
+def _install_drain_handler(server, dump_dir) -> None:
+    """SIGTERM → graceful drain (main thread only, best effort)."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal handlers can only be installed from the main thread
+    term = getattr(signal, "SIGTERM", None)
+    if term is None:
+        return
+
+    def _drain(_signum, _frame):
+        # The drain itself runs off the signal handler's stack so the
+        # handler returns immediately; drain() closes the server, which
+        # unblocks server.wait() in cmd_serve.
+        print("# SIGTERM: draining (no new queries accepted)", file=sys.stderr)
+        threading.Thread(
+            target=server.drain, args=(dump_dir,), daemon=True
+        ).start()
+
+    signal.signal(term, _drain)
+
+
 def cmd_top(args) -> int:
     """Live dashboard over a running ``repro serve`` daemon."""
     from repro.serve import TopDashboard, connect
@@ -413,7 +480,13 @@ def cmd_submit(args) -> int:
     """Submit one query to a running ``repro serve`` daemon."""
     from repro.serve import connect
 
-    client = connect(port=args.port, host=args.host, client_id=args.client)
+    client = connect(
+        port=args.port,
+        host=args.host,
+        client_id=args.client,
+        timeout=args.timeout,
+        retry=args.max_retries,
+    )
     if args.stats:
         stats = client.stats()
         for name, value in sorted(stats["metrics"].items()):
@@ -623,6 +696,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="where SIGUSR1 dumps flight-recorder traces "
         "(default: a fresh temp directory per dump)",
     )
+    serve.add_argument(
+        "--slo-p99", type=float, default=None, metavar="SECONDS",
+        help="load shedding: when the live p99 end-to-end latency exceeds "
+        "this SLO, low-priority submissions are rejected with "
+        "rejected:overload and a retry_after_s hint (default: off)",
+    )
+    serve.add_argument(
+        "--protect-priority", type=int, default=1, metavar="P",
+        help="load shedding never rejects queries at priority >= P "
+        "(default 1: only priority-0 work is sheddable)",
+    )
+    serve.add_argument(
+        "--wall-budget", type=float, default=None, metavar="SECONDS",
+        help="per-query sentinel: cancel any query running longer than "
+        "this, returning the usual partial/typed-error shape (default: off)",
+    )
+    serve.add_argument(
+        "--rss-budget-mb", type=float, default=None, metavar="MB",
+        help="per-query sentinel: cancel the running query when daemon RSS "
+        "grows by more than this while it executes (default: off)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="open a (graph, engine) circuit breaker after N consecutive "
+        "worker crashes or sentinel trips (default 3)",
+    )
+    serve.add_argument(
+        "--breaker-reset", type=float, default=5.0, metavar="SECONDS",
+        help="cool-down before an open breaker lets a half-open probe "
+        "through (default 5)",
+    )
+    serve.add_argument(
+        "--drain-deadline", type=float, default=5.0, metavar="SECONDS",
+        help="graceful drain (SIGTERM / the drain op): how long to wait "
+        "for in-flight queries before closing anyway (default 5)",
+    )
+    serve.add_argument(
+        "--state", metavar="PATH",
+        help="persist the registry manifest and result-cache journal here "
+        "on drain, for --resume (default: no persistence)",
+    )
+    serve.add_argument(
+        "--resume", metavar="PATH",
+        help="warm-restart from a --state journal written by a previous "
+        "incarnation's drain (missing file starts cold)",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="TESTING ONLY: inject a seeded random fault plan "
+        "(crash/hang/slow/corrupt/torn-socket) keyed by each request's "
+        "chaos_index (default: off)",
+    )
+    serve.add_argument(
+        "--chaos-p", type=float, default=0.3, metavar="P",
+        help="chaos mode: per-query fault probability (default 0.3)",
+    )
+    serve.add_argument(
+        "--chaos-queries", type=int, default=64, metavar="N",
+        help="chaos mode: how many query indices the fault plan covers "
+        "(default 64)",
+    )
 
     top = sub.add_parser(
         "top",
@@ -678,6 +812,17 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--stats", action="store_true",
         help="print the daemon's metrics snapshot instead of running a query",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request socket timeout (default 60)",
+    )
+    submit.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retry retryable rejections (overload, circuit-open, "
+        "queue-full) and torn connections up to N times with seeded-"
+        "jitter exponential backoff, honoring the daemon's retry_after_s "
+        "hint (default: no retries)",
     )
 
     return parser

@@ -37,6 +37,8 @@ root candidate, and unstarted shards return their aggregation's zero.
 from __future__ import annotations
 
 import atexit
+import itertools
+import os
 import warnings
 import weakref
 from abc import ABC, abstractmethod
@@ -172,6 +174,104 @@ class SerialShardExecutor(ShardExecutor):
 #: probe (:func:`assert_no_leaked_segments`) and the atexit sweep read it.
 _LIVE_SEGMENTS: dict[str, str] = {}
 
+#: Segment-name prefix: ``repro-shm-<owner pid>-<seq>-<suffix>``. The pid
+#: in the name is what lets a *fresh* daemon incarnation recognize (and
+#: reclaim) segments a SIGKILLed predecessor never got to unlink — the
+#: atexit/finalizer sweeps only run when the owner dies politely.
+_SEGMENT_PREFIX = "repro-shm"
+_SEGMENT_SEQ = itertools.count()
+
+
+def _create_named_segment(size: int):
+    """A fresh shared-memory segment named so its owner pid is recoverable."""
+    from multiprocessing import shared_memory
+
+    for _ in range(16):
+        name = (
+            f"{_SEGMENT_PREFIX}-{os.getpid()}-{next(_SEGMENT_SEQ)}"
+            f"-{os.urandom(3).hex()}"
+        )
+        try:
+            return shared_memory.SharedMemory(create=True, size=size, name=name)
+        except FileExistsError:  # pragma: no cover - 24 random bits collided
+            continue
+    # Give up on naming; an anonymous segment still works (it just cannot
+    # be swept by a successor process).
+    return shared_memory.SharedMemory(create=True, size=size)  # pragma: no cover
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for another process's pid."""
+    try:
+        os.kill(pid, 0)
+    except (ProcessLookupError, OverflowError, ValueError):
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # unknown: err on the safe side, do not reclaim
+    return True
+
+
+def sweep_stale_segments() -> tuple[str, ...]:
+    """Unlink ``repro-shm`` segments whose owning process is dead.
+
+    A SIGKILLed daemon leaves its exported CSR segments behind (no
+    atexit, no finalizers); a successor daemon calls this at start-up to
+    reclaim them. Only segments following the
+    ``repro-shm-<pid>-...`` naming convention whose pid no longer exists
+    are touched — live owners (including this process) are never raced.
+    Returns the swept segment names; POSIX-only (``/dev/shm``), a no-op
+    elsewhere.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return ()
+    from multiprocessing import shared_memory
+
+    swept: list[str] = []
+    try:
+        entries = sorted(os.listdir(shm_dir))
+    except OSError:
+        return ()
+    for name in entries:
+        if not name.startswith(_SEGMENT_PREFIX + "-"):
+            continue
+        parts = name.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            continue
+        try:
+            # Attaching registered the segment with our resource tracker;
+            # unregister so the tracker does not warn about the segment we
+            # are about to unlink on purpose (same dance as attach()).
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except (ImportError, AttributeError, KeyError, ValueError, OSError):
+            pass
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            continue
+        swept.append(name)
+    if swept:
+        warnings.warn(
+            f"reclaimed {len(swept)} stale shared-memory segment(s) from "
+            f"dead process(es): {', '.join(swept)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return tuple(swept)
+
 
 def _cleanup_segment(name: str) -> None:
     """Best-effort unlink of one registered segment (finalizer/atexit path)."""
@@ -271,7 +371,7 @@ class SharedGraphPayload:
         if graph.labels is not None:
             arrays["labels"] = graph.labels
         total = sum(a.nbytes for a in arrays.values())
-        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        shm = _create_named_segment(max(total, 1))
         blocks: dict[str, tuple[int, tuple[int, ...], str]] = {}
         offset = 0
         for name, arr in arrays.items():

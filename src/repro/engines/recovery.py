@@ -99,7 +99,7 @@ class Deadline:
     expires even if a worker is wedged.
     """
 
-    __slots__ = ("seconds", "clock", "_expires_at")
+    __slots__ = ("seconds", "clock", "_expires_at", "expiry_reason")
 
     def __init__(self, seconds: float, clock: Callable[[], float] = time.monotonic):
         if seconds <= 0:
@@ -107,6 +107,8 @@ class Deadline:
         self.seconds = float(seconds)
         self.clock = clock
         self._expires_at = clock() + self.seconds
+        #: Why the deadline was force-expired (``None`` for natural expiry).
+        self.expiry_reason: str | None = None
 
     def remaining(self) -> float:
         """Seconds left before expiry (negative once past it)."""
@@ -115,6 +117,21 @@ class Deadline:
     def expired(self) -> bool:
         """Whether the budget has run out."""
         return self.remaining() <= 0.0
+
+    def expire(self, reason: str | None = None) -> None:
+        """Force immediate expiry (idempotent).
+
+        The cancellation lever for everything already wired to this
+        deadline: the next ``expired()`` / ``remaining()`` check — in the
+        shard loop, the pool ``futures.wait`` timeout, a streaming
+        callback — observes the budget as spent and unwinds through the
+        established cancel path (``PartialRunResult`` / typed errors).
+        ``reason`` is retained on :attr:`expiry_reason` for reporting
+        (e.g. a service sentinel's ``"rss"`` or ``"wall-clock"`` trip).
+        """
+        if self.expiry_reason is None and reason is not None:
+            self.expiry_reason = reason
+        self._expires_at = min(self._expires_at, self.clock())
 
     @classmethod
     def resolve(

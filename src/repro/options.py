@@ -109,7 +109,10 @@ class RunOptions:
     workers: int = 1
     margin: float = 0.6
     batch_roots: int | None = None
-    deadline_seconds: float | None = None
+    #: Positive seconds (wire) or a live armed ``Deadline`` (local only —
+    #: lets a supervisor such as a serve-side sentinel cancel the run
+    #: externally via ``Deadline.expire``).
+    deadline_seconds: Any = None
     #: Checkpoint journal path (wire) or an open ``ShardCheckpoint``.
     checkpoint: Any = None
     #: ``int`` max-retries (wire), a ``RetryPolicy``, or ``None``.
@@ -153,14 +156,18 @@ class RunOptions:
             raise ValueError(
                 f"batch_roots must be >= 1, got {self.batch_roots!r}"
             )
-        if self.deadline_seconds is not None and (
-            not isinstance(self.deadline_seconds, (int, float))
-            or self.deadline_seconds <= 0
+        if self.deadline_seconds is not None and not self._is_live_deadline(
+            self.deadline_seconds
         ):
-            raise ValueError(
-                f"deadline_seconds must be positive, got "
-                f"{self.deadline_seconds!r}"
-            )
+            if (
+                not isinstance(self.deadline_seconds, (int, float))
+                or isinstance(self.deadline_seconds, bool)
+                or self.deadline_seconds <= 0
+            ):
+                raise ValueError(
+                    f"deadline_seconds must be positive, got "
+                    f"{self.deadline_seconds!r}"
+                )
         if self.aggregation is not None and not isinstance(
             self.aggregation, (str, Aggregation)
         ):
@@ -174,6 +181,13 @@ class RunOptions:
             from repro.engines.recovery import RetryPolicy
 
             RetryPolicy.resolve(self.retry)  # raises TypeError on bad specs
+
+    @staticmethod
+    def _is_live_deadline(value: Any) -> bool:
+        """Whether ``value`` is a live ``Deadline`` (local-only)."""
+        from repro.engines.recovery import Deadline
+
+        return isinstance(value, Deadline)
 
     # -- derivation ---------------------------------------------------------
 
@@ -225,6 +239,8 @@ class RunOptions:
         progress = self.progress
         if progress is not None and not isinstance(progress, bool):
             local.append("progress")
+        if self._is_live_deadline(self.deadline_seconds):
+            local.append("deadline_seconds")
         if local:
             raise ValueError(
                 "RunOptions carries local-only live objects that cannot be "

@@ -29,18 +29,51 @@ queue-depth window, flight-recorder occupancy — checked by
 and anomalous query traces for the ``dump`` op / ``SIGUSR1``, and
 ``repro top <port>`` (:class:`TopDashboard`) renders the whole thing
 live.
+
+Robustness (schema v3): an adaptive :class:`ShedController` rejects
+low-priority work (``rejected:overload`` with a ``retry_after_s`` hint)
+when the live p99 breaks its SLO or the queue is deadline-infeasible,
+a :class:`SentinelBoard` watches every executing query's wall-clock and
+RSS budgets and cancels runaways through the normal deadline path,
+per-(graph, engine) :class:`CircuitBreaker` cells fail crash loops fast
+(``rejected:circuit-open``), and SIGTERM/:meth:`MiningServer.drain`
+stops admission, finishes in-flight work under a drain deadline, dumps
+the flight recorder and persists service state so ``repro serve
+--resume`` reboots warm. :class:`Client` retries retryable verdicts and
+torn connections under the batch layer's seeded-jitter
+:class:`repro.RetryPolicy`, with idempotency keys so a retried query
+replays the stored answer byte-identically.
 """
 
-from repro.serve.client import Client, ServeResult, connect
+from repro.serve.breaker import (
+    REJECTED_CIRCUIT_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.serve.client import Client, ServeRejected, ServeResult, connect
 from repro.serve.flightrecorder import FlightRecord, FlightRecorder
 from repro.serve.protocol import decode_value, encode_value, validate_stats
 from repro.serve.registry import GraphRegistry, ResidentGraph
-from repro.serve.scheduler import AdmissionPolicy, Query, QueryScheduler
+from repro.serve.scheduler import (
+    REJECTED_DRAINING,
+    AdmissionPolicy,
+    Query,
+    QueryScheduler,
+)
+from repro.serve.sentinel import QuerySentinel, SentinelBoard
 from repro.serve.server import MiningServer
+from repro.serve.shed import REJECTED_OVERLOAD, ShedController, ShedDecision
+from repro.serve.state import (
+    ServiceState,
+    load_service_state,
+    save_service_state,
+)
 from repro.serve.top import TopDashboard
 
 __all__ = [
     "AdmissionPolicy",
+    "BreakerBoard",
+    "CircuitBreaker",
     "Client",
     "FlightRecord",
     "FlightRecorder",
@@ -48,11 +81,22 @@ __all__ = [
     "MiningServer",
     "Query",
     "QueryScheduler",
+    "QuerySentinel",
+    "REJECTED_CIRCUIT_OPEN",
+    "REJECTED_DRAINING",
+    "REJECTED_OVERLOAD",
     "ResidentGraph",
+    "SentinelBoard",
+    "ServeRejected",
     "ServeResult",
+    "ServiceState",
+    "ShedController",
+    "ShedDecision",
     "TopDashboard",
     "connect",
     "decode_value",
     "encode_value",
+    "load_service_state",
+    "save_service_state",
     "validate_stats",
 ]

@@ -7,20 +7,78 @@
 existence) keyed by the caller's own :class:`repro.Pattern` objects —
 the only visible difference is that the graph lives in the daemon and
 is named, not passed.
+
+Resilience: with a retry policy configured (``retry=`` — an ``int`` or
+a full :class:`repro.RetryPolicy`), :meth:`Client.run` survives the
+transient failures a hardened daemon *intentionally* produces — typed
+``rejected:overload`` / ``rejected:circuit-open`` verdicts (honoring
+their ``retry_after_s`` hints), torn connections, unparsable response
+frames, per-request socket timeouts — using the same seeded-jitter
+exponential backoff the batch layer uses for shard retries, so a test
+with a fixed seed replays the exact same schedule. Each logical call
+carries an **idempotency key**: if attempt 0's response was lost on the
+wire after the daemon completed the query, the retry replays the stored
+response instead of re-mining (and the answer stays byte-identical).
+Permanent rejections (``rejected:deadline``, unknown graphs, …) raise
+:class:`ServeRejected` / :class:`RuntimeError` immediately — retrying
+them would never succeed.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import socket
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.parser import format_pattern
 from repro.core.pattern import Pattern
+from repro.engines.recovery import RetryPolicy
 from repro.options import RunOptions
 from repro.serve import protocol
 
-__all__ = ["Client", "ServeResult", "connect"]
+__all__ = ["Client", "ServeRejected", "ServeResult", "connect"]
+
+#: Admission verdicts worth retrying: the condition is load, not the
+#: request — backing off and retrying is the designed client response.
+_RETRYABLE_VERDICTS = (
+    "rejected:overload",
+    "rejected:circuit-open",
+    "rejected:queue-full",
+)
+
+#: Server-side error families worth retrying: a worker crash is a
+#: transient execution failure (a crash *loop* opens the circuit
+#: breaker, which surfaces as a retryable verdict instead).
+_RETRYABLE_ERRORS = ("WorkerCrashError",)
+
+
+class ServeRejected(RuntimeError):
+    """The daemon rejected a request with a typed admission verdict.
+
+    ``verdict`` is the ``rejected:*`` string; ``retry_after_s`` carries
+    the daemon's backoff hint when one was offered (overload and
+    circuit-open verdicts), else ``None``. ``retryable`` tells the
+    retry loop (and callers) whether waiting can help.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        verdict: str,
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(f"server rejected {op!r}: {verdict}")
+        self.op = op
+        self.verdict = verdict
+        self.retry_after_s = retry_after_s
+
+    @property
+    def retryable(self) -> bool:
+        """Whether this verdict can clear up by waiting and retrying."""
+        return self.verdict in _RETRYABLE_VERDICTS
 
 
 @dataclass
@@ -46,6 +104,9 @@ class ServeResult:
     #: Daemon-minted id of this query — the handle for finding its
     #: trace in the flight recorder (``stats``/``dump`` ops).
     query_id: str | None = None
+    #: Which resource sentinel cancelled the query (``"wall-budget"`` /
+    #: ``"rss-budget"``), or ``None`` when no budget tripped.
+    sentinel: str | None = None
 
 
 class Client:
@@ -63,6 +124,7 @@ class Client:
         port: int = 0,
         client_id: str = "anonymous",
         timeout: float | None = 60.0,
+        retry: RetryPolicy | int | None = None,
     ) -> None:
         if port <= 0:
             raise ValueError(f"port must be a bound server port, got {port!r}")
@@ -70,6 +132,11 @@ class Client:
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        #: ``None`` (no retries — the pre-hardening behavior), an int
+        #: (max retries with default backoff), or a full policy.
+        self.retry = None if retry is None else RetryPolicy.resolve(retry)
+        self._seq = 0
+        self._seq_lock = threading.Lock()
 
     def _request(self, payload: dict) -> dict:
         """One request/response exchange on a fresh connection."""
@@ -89,11 +156,65 @@ class Client:
     def _checked(self, payload: dict) -> dict:
         response = self._request(payload)
         if not response.get("ok"):
+            error = str(response.get("error", "unknown error"))
+            if error.startswith("rejected:"):
+                retry_after = response.get("retry_after_s")
+                raise ServeRejected(
+                    str(payload.get("op")),
+                    error,
+                    retry_after_s=(
+                        float(retry_after) if retry_after is not None else None
+                    ),
+                )
             raise RuntimeError(
-                f"server rejected {payload.get('op')!r}: "
-                f"{response.get('error', 'unknown error')}"
+                f"server rejected {payload.get('op')!r}: {error}"
             )
         return response
+
+    def _checked_with_retry(self, payload: dict) -> dict:
+        """``_checked`` under the client's retry policy (if any).
+
+        Retryable: transient transport failures (torn connection,
+        timeout, unparsable frame) and retryable admission verdicts.
+        The wait before attempt ``n`` is the seeded-jitter backoff —
+        raised to the server's ``retry_after_s`` hint when the daemon
+        offered one, because the daemon knows its backlog better than
+        an exponential schedule does.
+        """
+        policy = self.retry
+        if policy is None:
+            return self._checked(payload)
+        last_error: Exception | None = None
+        for attempt in range(policy.max_retries + 1):
+            try:
+                return self._checked(payload)
+            except ServeRejected as exc:
+                if not exc.retryable or attempt >= policy.max_retries:
+                    raise
+                last_error = exc
+                delay = policy.delay(0, attempt)
+                if exc.retry_after_s is not None:
+                    delay = max(delay, exc.retry_after_s)
+            except RuntimeError as exc:
+                # Typed server-side errors: only the transient families
+                # (worker crashes) are worth another attempt.
+                if attempt >= policy.max_retries or not any(
+                    token in str(exc) for token in _RETRYABLE_ERRORS
+                ):
+                    raise
+                last_error = exc
+                delay = policy.delay(0, attempt)
+            except (ConnectionError, socket.timeout, OSError, ValueError) as exc:
+                # Torn socket, refused/reset connection, per-request
+                # timeout, or a corrupt (unparsable) response frame.
+                if attempt >= policy.max_retries:
+                    raise
+                last_error = exc
+                delay = policy.delay(0, attempt)
+            policy.sleep(delay)
+        raise last_error if last_error is not None else AssertionError(
+            "retry loop exited without an outcome"
+        )  # pragma: no cover - loop always returns or raises
 
     # -- protocol ops --------------------------------------------------------
 
@@ -139,6 +260,22 @@ class Client:
         """Ask the daemon to stop (idempotent; returns once acknowledged)."""
         self._checked({"op": "shutdown"})
 
+    def _next_idempotency_key(self, payload: dict) -> str:
+        """A deterministic per-call idempotency key (no RNG).
+
+        ``<client>:<seq>:<digest>`` — the per-client sequence separates
+        deliberate repeats of the same query, and the request digest
+        keeps a collision across client instances sharing an id
+        harmless (identical key implies identical request).
+        """
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        ).hexdigest()[:16]
+        return f"{self.client_id}:{seq}:{digest}"
+
     def run(
         self,
         graph: str,
@@ -146,6 +283,7 @@ class Client:
         options: RunOptions | None = None,
         priority: int = 0,
         use_result_cache: bool = True,
+        chaos_index: int | None = None,
     ) -> ServeResult:
         """Mine ``patterns`` on the resident graph named ``graph``.
 
@@ -153,25 +291,34 @@ class Client:
         run takes; it must be wire-safe (``options.to_dict()`` raises on
         local-only live objects before anything is sent). ``priority``
         orders this query against others queued in the daemon (higher
-        first); admission rejections surface as :class:`RuntimeError`
+        first); admission rejections surface as :class:`ServeRejected`
         with the verdict (``rejected:queue-full``,
-        ``rejected:client-limit``, ``rejected:deadline``) as message.
+        ``rejected:client-limit``, ``rejected:deadline``,
+        ``rejected:overload``, ``rejected:circuit-open``,
+        ``rejected:draining``). With a retry policy configured,
+        retryable failures back off and retry under a per-call
+        idempotency key (see the module docstring); ``chaos_index``
+        tags the request for a server-side
+        :class:`repro.testing.faults.QueryFaultPlan`.
         """
         if isinstance(patterns, Pattern):
             patterns = [patterns]
         patterns = list(patterns)
         texts = [format_pattern(p) for p in patterns]
-        response = self._checked(
-            {
-                "op": "run",
-                "graph": graph,
-                "patterns": texts,
-                "options": (options or RunOptions()).to_dict(),
-                "client": self.client_id,
-                "priority": priority,
-                "use_result_cache": use_result_cache,
-            }
-        )
+        payload: dict[str, Any] = {
+            "op": "run",
+            "graph": graph,
+            "patterns": texts,
+            "options": (options or RunOptions()).to_dict(),
+            "client": self.client_id,
+            "priority": priority,
+            "use_result_cache": use_result_cache,
+        }
+        if chaos_index is not None:
+            payload["chaos_index"] = int(chaos_index)
+        if self.retry is not None:
+            payload["idempotency_key"] = self._next_idempotency_key(payload)
+        response = self._checked_with_retry(payload)
         by_text = response.get("results", {})
         results = {
             pattern: protocol.decode_value(by_text.get(text))
@@ -185,6 +332,7 @@ class Client:
             seconds=dict(response.get("seconds", {})),
             metrics=dict(response.get("metrics", {})),
             query_id=response.get("query_id"),
+            sentinel=response.get("sentinel"),
         )
 
 
@@ -193,6 +341,7 @@ def connect(
     host: str = "127.0.0.1",
     client_id: str = "anonymous",
     timeout: float | None = 60.0,
+    retry: RetryPolicy | int | None = None,
 ) -> Client:
     """Connect to a ``repro serve`` daemon and verify it answers.
 
@@ -201,7 +350,13 @@ def connect(
         client = repro.connect(port=7071)
         client.load("mico")
         result = client.run("mico", [repro.Pattern.clique(3)])
+
+    ``timeout`` bounds each request on the wire; ``retry`` (an ``int``
+    or a :class:`repro.RetryPolicy`) turns on client-side resilience —
+    see :class:`Client`.
     """
-    client = Client(host=host, port=port, client_id=client_id, timeout=timeout)
+    client = Client(
+        host=host, port=port, client_id=client_id, timeout=timeout, retry=retry
+    )
     client.ping()
     return client

@@ -128,6 +128,7 @@ class FlightRecorder:
         self._recent: deque[FlightRecord] = deque(maxlen=capacity)
         self._anomalies: deque[FlightRecord] = deque(maxlen=anomaly_capacity)
         self._recorded = 0
+        self._events = 0
         self._lock = threading.Lock()
 
     # -- classification ----------------------------------------------------
@@ -154,6 +155,39 @@ class FlightRecorder:
             if record.anomalous:
                 self._anomalies.append(record)
         return record
+
+    def note(
+        self,
+        event: str,
+        detail: str = "",
+        *,
+        graph: str = "",
+        engine: str = "",
+        extra: dict[str, Any] | None = None,
+    ) -> FlightRecord:
+        """Retain a synthetic service event as an anomaly.
+
+        Not every anomaly is a query: breaker transitions, protocol
+        errors on the wire, drain milestones. ``note`` wraps the event
+        in a traceless :class:`FlightRecord` with ``status="event"``
+        (anomalous by construction, so it lands in the anomaly ring and
+        survives healthy traffic) under a server-minted ``evt-*`` id.
+        """
+        with self._lock:
+            self._events += 1
+            event_id = f"evt-{self._events:05d}"
+        return self.record(
+            FlightRecord(
+                query_id=event_id,
+                client="daemon",
+                graph=graph,
+                engine=engine,
+                patterns=[],
+                status="event",
+                error=f"{event}: {detail}" if detail else event,
+                extra=dict(extra or {}),
+            )
+        )
 
     # -- read --------------------------------------------------------------
 

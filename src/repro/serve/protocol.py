@@ -35,8 +35,11 @@ _TAGS = ("tuple", "list", "frozenset", "set", "dict")
 #: daemon speaking a different schema instead of mis-parsing it.
 #: Version 2 added: ``schema_version``, ``histograms``, ``queue``
 #: (window-gauge envelope), ``flight`` (recorder occupancy + recent
-#: anomalies) and per-query latency distributions.
-STATS_SCHEMA_VERSION = 2
+#: anomalies) and per-query latency distributions. Version 3 added the
+#: robustness sections: ``service`` (drain state machine),
+#: ``shed`` (overload controller), ``breakers`` (per-(graph, engine)
+#: circuit-breaker states) and ``sentinels`` (watchdog budgets/trips).
+STATS_SCHEMA_VERSION = 3
 
 #: ``stats`` snapshot contract: required key -> required type(s).
 _STATS_SCHEMA: dict[str, type | tuple[type, ...]] = {
@@ -50,16 +53,24 @@ _STATS_SCHEMA: dict[str, type | tuple[type, ...]] = {
     "histograms": dict,
     "queue": dict,
     "flight": dict,
+    "service": dict,
+    "shed": dict,
+    "breakers": dict,
+    "sentinels": dict,
 }
+
+#: Drain state machine values the ``service`` section may report.
+_SERVICE_STATES = ("accepting", "draining", "closed")
 
 
 def validate_stats(snapshot: dict) -> dict:
-    """Check a ``stats`` response against the version-2 schema.
+    """Check a ``stats`` response against the version-3 schema.
 
     Raises :class:`ValueError` naming every violation at once (missing
     or mistyped top-level keys, malformed histogram summaries, a
-    flight-recorder section without occupancy fields); returns the
-    snapshot unchanged when it validates, so callers can chain it.
+    flight-recorder section without occupancy fields, robustness
+    sections missing their state fields); returns the snapshot
+    unchanged when it validates, so callers can chain it.
     """
     problems: list[str] = []
     for key, expected in _STATS_SCHEMA.items():
@@ -89,6 +100,20 @@ def validate_stats(snapshot: dict) -> dict:
         for key in ("recorded", "recent", "capacity", "anomalies"):
             if key not in snapshot["flight"]:
                 problems.append(f"flight section is missing {key!r}")
+        if snapshot["service"].get("state") not in _SERVICE_STATES:
+            problems.append(
+                f"service state {snapshot['service'].get('state')!r} not in "
+                f"{_SERVICE_STATES}"
+            )
+        for key in ("shed_total", "by_reason", "slo_p99"):
+            if key not in snapshot["shed"]:
+                problems.append(f"shed section is missing {key!r}")
+        for cell, breaker in snapshot["breakers"].items():
+            if not isinstance(breaker, dict) or "state" not in breaker:
+                problems.append(f"breaker {cell!r} has no state")
+        for key in ("active", "trips"):
+            if key not in snapshot["sentinels"]:
+                problems.append(f"sentinels section is missing {key!r}")
     if problems:
         raise ValueError(
             "stats snapshot violates schema: " + "; ".join(problems)

@@ -33,6 +33,7 @@ from typing import Any, Callable
 
 from repro.engines.recovery import Deadline
 from repro.observe.metrics import MetricsRegistry
+from repro.serve.shed import REJECTED_OVERLOAD, ShedController
 
 __all__ = ["AdmissionPolicy", "Query", "QueryScheduler"]
 
@@ -41,6 +42,7 @@ ACCEPTED = "accepted"
 REJECTED_QUEUE_FULL = "rejected:queue-full"
 REJECTED_CLIENT_LIMIT = "rejected:client-limit"
 REJECTED_DEADLINE = "rejected:deadline"
+REJECTED_DRAINING = "rejected:draining"
 
 
 class Query:
@@ -66,6 +68,9 @@ class Query:
         #: flight recorder (``None`` for bare scheduler-level use).
         self.query_id = query_id
         self.response: dict | None = None
+        #: Backoff hint stamped by the shed controller on an
+        #: ``rejected:overload`` verdict (``None`` otherwise).
+        self.retry_after_s: float | None = None
         #: Scheduler-clock timestamps, stamped by the scheduler: at
         #: admission, at dispatch to a worker, and at completion. They
         #: feed the queue-wait and end-to-end latency histograms.
@@ -139,16 +144,20 @@ class QueryScheduler:
         policy: AdmissionPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
         metrics: MetricsRegistry | None = None,
+        shed: ShedController | None = None,
     ) -> None:
         self.policy = policy or AdmissionPolicy()
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional overload gate consulted before the admission policy.
+        self.shed = shed
         self._heap: list[tuple[int, int, Query]] = []
         self._seq = 0
         self._inflight: dict[str, int] = {}
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._closed = False
+        self._draining = False
 
     # -- submit --------------------------------------------------------------
 
@@ -166,11 +175,24 @@ class QueryScheduler:
         bounds a client's total footprint on the daemon.
         """
         with self._lock:
-            verdict = self.policy.admit(
-                query,
-                queue_depth=len(self._heap),
-                client_inflight=self._inflight.get(query.client, 0),
-            )
+            if self._draining or self._closed:
+                verdict = REJECTED_DRAINING
+            else:
+                verdict = self.policy.admit(
+                    query,
+                    queue_depth=len(self._heap),
+                    client_inflight=self._inflight.get(query.client, 0),
+                )
+            if verdict == ACCEPTED and self.shed is not None:
+                decision = self.shed.evaluate(
+                    priority=query.priority, queue_depth=len(self._heap)
+                )
+                if decision.shed:
+                    verdict = REJECTED_OVERLOAD
+                    query.retry_after_s = decision.retry_after_s
+                    self.metrics.add(
+                        f"serve.shed.{(decision.reason or 'unknown')}"
+                    )
             if verdict == ACCEPTED:
                 query.submitted_at = self.clock()
                 self._inflight[query.client] = self._inflight.get(query.client, 0) + 1
@@ -198,7 +220,7 @@ class QueryScheduler:
                     )
                 if not self._heap:
                     return None
-                _, _, query = heapq.heappop(self._heap)
+                query = self._pop_locked()
                 query.started_at = self.clock()
                 self.metrics.sample_window("serve.queue.depth", len(self._heap))
             if query.deadline is not None and query.deadline.expired():
@@ -215,6 +237,38 @@ class QueryScheduler:
                 query.finish(response)
                 continue
             return query
+
+    def _pop_locked(self) -> Query:
+        """Pop the next query to dispatch (caller holds the lock).
+
+        Normally strict priority order — but a queued query whose
+        deadline has less headroom than one estimated service time is
+        *urgent*: unless it starts now it will expire while waiting, so
+        it pre-empts priority order (earliest-submitted urgent query
+        first). This is the anti-starvation guarantee: a stream of
+        high-priority arrivals cannot hold a feasible low-priority
+        query past its deadline. Already-expired queries are not urgent
+        (the post-pop deadline check rejects them as before), and with
+        ``estimated_service_seconds == 0`` the scan never fires.
+        """
+        estimate = self.policy.estimated_service_seconds
+        if estimate > 0:
+            urgent_pos: int | None = None
+            for pos, (_, seq, queued) in enumerate(self._heap):
+                if queued.deadline is None or queued.deadline.expired():
+                    continue
+                if queued.deadline.remaining() > estimate:
+                    continue
+                if urgent_pos is None or seq < self._heap[urgent_pos][1]:
+                    urgent_pos = pos
+            if urgent_pos is not None:
+                _, _, query = self._heap[urgent_pos]
+                self._heap[urgent_pos] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                self.metrics.add("serve.scheduler.urgent_dispatch")
+                return query
+        return heapq.heappop(self._heap)[2]
 
     def run_next(self, execute: Callable[[Query], dict], timeout: float | None = 0) -> bool:
         """Synchronously execute one queued query (worker loop body).
@@ -271,6 +325,27 @@ class QueryScheduler:
         with self._lock:
             return self._inflight.get(client, 0)
 
+    def total_inflight(self) -> int:
+        """Queued + executing queries across every client.
+
+        The drain loop polls this: zero means every admitted query has
+        published its response and the daemon may stop.
+        """
+        with self._lock:
+            return sum(self._inflight.values())
+
+    def set_draining(self, draining: bool = True) -> None:
+        """Enter (or leave) drain mode: submissions are rejected with
+        ``rejected:draining`` while queued/executing work proceeds."""
+        with self._lock:
+            self._draining = draining
+
+    @property
+    def draining(self) -> bool:
+        """Whether new submissions are being rejected for drain."""
+        with self._lock:
+            return self._draining
+
     def close(self) -> None:
         """Reject everything still queued and wake blocked workers."""
         with self._lock:
@@ -291,4 +366,5 @@ class QueryScheduler:
                 "inflight": dict(self._inflight),
                 "max_queue_depth": self.policy.max_queue_depth,
                 "max_per_client": self.policy.max_per_client,
+                "draining": self._draining,
             }

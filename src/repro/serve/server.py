@@ -33,9 +33,12 @@ import socketserver
 import tempfile
 import threading
 import time
+import warnings
 from typing import Any, Callable
 
 from repro.core.parser import format_pattern, parse_pattern
+from repro.engines.recovery import Deadline
+from repro.errors import WorkerCrashError
 from repro.morph.cache import MeasurementCache, PlanCache
 from repro.morph.profiles import profile_for
 from repro.morph.session import MorphingSession, PartialRunResult
@@ -44,11 +47,24 @@ from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import Tracer
 from repro.options import RunOptions
 from repro.serve import protocol
+from repro.serve.breaker import REJECTED_CIRCUIT_OPEN, BreakerBoard
 from repro.serve.flightrecorder import FlightRecord, FlightRecorder
 from repro.serve.registry import GraphRegistry
-from repro.serve.scheduler import ACCEPTED, AdmissionPolicy, Query, QueryScheduler
+from repro.serve.scheduler import (
+    ACCEPTED,
+    REJECTED_DRAINING,
+    AdmissionPolicy,
+    Query,
+    QueryScheduler,
+)
+from repro.serve.sentinel import SentinelBoard
+from repro.serve.shed import ShedController
+from repro.serve.state import load_service_state, save_service_state
 
 __all__ = ["MiningServer"]
+
+#: Bound on the idempotency map (completed responses kept for replay).
+_IDEMPOTENCY_CAPACITY = 256
 
 #: Metrics forwarded to clients in every run response (cache behavior
 #: is part of the service contract, so clients can assert on it).
@@ -97,12 +113,46 @@ class MiningServer:
         slow_factor: float = 8.0,
         flight_capacity: int = 64,
         sample_interval: float = 0.25,
+        slo_p99: float | None = None,
+        protect_priority: int = 1,
+        wall_budget_s: float | None = None,
+        rss_budget_bytes: int | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 5.0,
+        drain_deadline_s: float = 5.0,
+        state_path: str | None = None,
+        chaos: Any = None,
+        sweep_on_start: bool = True,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers!r}")
+        if drain_deadline_s <= 0:
+            raise ValueError(
+                f"drain_deadline_s must be positive, got {drain_deadline_s!r}"
+            )
         self.registry = registry if registry is not None else GraphRegistry()
         self.metrics = MetricsRegistry()
-        self.scheduler = QueryScheduler(policy=policy, clock=clock, metrics=self.metrics)
+        policy = policy or AdmissionPolicy()
+        self.shed = ShedController(
+            self.metrics,
+            slo_p99=slo_p99,
+            protect_priority=protect_priority,
+            estimated_service_seconds=policy.estimated_service_seconds,
+        )
+        self.scheduler = QueryScheduler(
+            policy=policy, clock=clock, metrics=self.metrics, shed=self.shed
+        )
+        self.sentinels = SentinelBoard(
+            clock=clock,
+            wall_budget_s=wall_budget_s,
+            rss_budget_bytes=rss_budget_bytes,
+        )
+        self.breakers = BreakerBoard(
+            failure_threshold=breaker_threshold,
+            reset_seconds=breaker_reset_s,
+            clock=clock,
+            on_transition=self._on_breaker_transition,
+        )
         self.plan_cache = PlanCache()
         self.flight = FlightRecorder(
             capacity=flight_capacity, slow_factor=slow_factor
@@ -112,7 +162,14 @@ class MiningServer:
         self.workers = workers
         self.result_cache_enabled = result_cache
         self.sample_interval = sample_interval
+        self.drain_deadline_s = drain_deadline_s
+        self.state_path = state_path
+        #: Optional :class:`repro.testing.faults.QueryFaultPlan` driving
+        #: the service-level chaos harness (``None`` in production).
+        self.chaos = chaos
+        self.sweep_on_start = sweep_on_start
         self._result_cache: dict[tuple, dict] = {}
+        self._idempotency: dict[str, dict] = {}
         self._measurement_caches: dict[str, MeasurementCache] = {}
         self._lock = threading.Lock()
         self._tcp: _TCPServer | None = None
@@ -122,6 +179,8 @@ class MiningServer:
         self._closed = threading.Event()
         self._started: float | None = None
         self._query_seq = 0
+        #: Drain state machine: ``accepting`` → ``draining`` → ``closed``.
+        self._drain_state = "accepting"
 
     # -- protocol dispatch ---------------------------------------------------
 
@@ -150,6 +209,13 @@ class MiningServer:
             if op == "dump":
                 directory, files = self.dump_flight(request.get("dir"))
                 return {"ok": True, "dir": directory, "files": files}
+            if op == "drain":
+                # Same write-then-act discipline as shutdown: over a
+                # socket the handler loop starts the drain after the
+                # ack is flushed; dict-level callers get a thread here.
+                if self._tcp is None:
+                    threading.Thread(target=self.drain, daemon=True).start()
+                return {"ok": True, "draining": True}
             if op == "shutdown":
                 # Over a socket the handler loop triggers close() only
                 # after the acknowledgement is flushed — starting it
@@ -197,6 +263,15 @@ class MiningServer:
             },
             "flight": flight,
             "uptime_seconds": self._uptime_seconds(),
+            "service": {
+                "state": self._drain_state,
+                "workers": self.workers,
+                "drain_deadline_s": self.drain_deadline_s,
+                "idempotency_entries": len(self._idempotency),
+            },
+            "shed": self.shed.snapshot(),
+            "breakers": self.breakers.snapshot(),
+            "sentinels": self.sentinels.snapshot(),
         }
 
     def _health_snapshot(self) -> dict:
@@ -230,7 +305,42 @@ class MiningServer:
 
     def _handle_run(self, request: dict) -> dict:
         """Admit, schedule and (a)wait one mining query."""
+        if self._drain_state != "accepting":
+            self.metrics.add("serve.admission.rejected.draining")
+            return {
+                "ok": False,
+                "error": REJECTED_DRAINING,
+                "admission": REJECTED_DRAINING,
+            }
+        idempotency_key = request.get("idempotency_key")
+        if idempotency_key is not None:
+            with self._lock:
+                stored = self._idempotency.get(str(idempotency_key))
+            if stored is not None:
+                # A retried query whose first attempt completed (but
+                # whose response the client never saw — torn socket,
+                # timeout) replays the exact original response.
+                self.metrics.add("serve.idempotent.replays")
+                return dict(stored)
+        if self.chaos is not None:
+            spec, attempt = self.chaos.begin(request.get("chaos_index"))
+            if spec is not None:
+                request["_chaos"] = (spec, attempt)
         options = RunOptions.from_dict(request.get("options") or {})
+        breaker = self.breakers.get(
+            str(request.get("graph", "?")), str(options.engine)
+        )
+        if not breaker.allow():
+            self.metrics.add("serve.admission.rejected.circuit-open")
+            response: dict[str, Any] = {
+                "ok": False,
+                "error": REJECTED_CIRCUIT_OPEN,
+                "admission": REJECTED_CIRCUIT_OPEN,
+            }
+            retry_after = breaker.retry_after()
+            if retry_after is not None:
+                response["retry_after_s"] = retry_after
+            return response
         query = Query(
             request,
             client=str(request.get("client", "anonymous")),
@@ -241,12 +351,15 @@ class MiningServer:
         accepted_at = self.scheduler.clock()
         verdict = self.scheduler.submit(query)
         if verdict != ACCEPTED:
-            return {
+            response = {
                 "ok": False,
                 "error": verdict,
                 "admission": verdict,
                 "query_id": query.query_id,
             }
+            if query.retry_after_s is not None:
+                response["retry_after_s"] = query.retry_after_s
+            return response
         if not self._worker_threads:
             # Synchronous mode (``workers=0``, dict-level unit tests):
             # drain the queue in the calling thread until this query
@@ -261,6 +374,24 @@ class MiningServer:
             self.metrics.observe(
                 "serve.latency.total", self.scheduler.clock() - accepted_at
             )
+        chaos = request.get("_chaos")
+        if chaos is not None and chaos[0].kind in ("corrupt", "torn-socket"):
+            # Wire-level faults ride the response as a private marker
+            # the socket handler pops before (not) writing the bytes.
+            response = dict(response)
+            response["_chaos_wire"] = chaos[0].kind
+        if (
+            idempotency_key is not None
+            and response.get("ok")
+            and not response.get("partial")
+        ):
+            clean = {
+                k: v for k, v in response.items() if k != "_chaos_wire"
+            }
+            with self._lock:
+                self._idempotency[str(idempotency_key)] = clean
+                while len(self._idempotency) > _IDEMPOTENCY_CAPACITY:
+                    self._idempotency.pop(next(iter(self._idempotency)))
         return response
 
     # -- query execution -----------------------------------------------------
@@ -293,6 +424,108 @@ class MiningServer:
             queue_wait = max(0.0, query.started_at - query.submitted_at)
         with self._lock:
             self.metrics.observe("serve.latency.queue_wait", queue_wait)
+        breaker = self.breakers.get(
+            str(request.get("graph", "?")), str(options.engine)
+        )
+        # Arm the watchdog before anything can run away: its deadline —
+        # the tighter of the request's own and the server wall budget —
+        # replaces the plain seconds so the board (or the budgets) can
+        # cancel the run externally through the established path.
+        sentinel = self.sentinels.watch(
+            query.query_id or "", options.deadline_seconds
+        )
+        run_options = options
+        if sentinel is not None:
+            run_options = options.replace(deadline_seconds=sentinel.deadline)
+        try:
+            self._apply_chaos(query, sentinel, resident.name, texts, options)
+            response = self._run_query(
+                query, resident, texts, patterns, options, run_options, queue_wait
+            )
+        except Exception as exc:
+            if isinstance(exc, WorkerCrashError) or (
+                sentinel is not None and sentinel.tripped
+            ):
+                breaker.record_failure()
+            raise
+        finally:
+            self.sentinels.finish(query.query_id or "")
+        tripped = sentinel.tripped if sentinel is not None else None
+        if tripped is None and sentinel is not None and response.get("partial"):
+            # The run degraded without a poll-time trip: a wall-budget
+            # overrun the sampler never sampled still gets attributed.
+            tripped = sentinel.check(None)
+            if tripped is not None:
+                self.metrics.add(f"serve.sentinel.trip.{tripped}")
+            elif sentinel.deadline.expiry_reason is not None:
+                tripped = sentinel.deadline.expiry_reason
+        if tripped is not None:
+            breaker.record_failure()
+            response = dict(response)
+            response["sentinel"] = tripped
+        else:
+            breaker.record_success()
+        return response
+
+    def _apply_chaos(
+        self,
+        query: Query,
+        sentinel,
+        graph: str,
+        texts: list,
+        options: RunOptions,
+    ) -> None:
+        """Fire this query's injected fault (chaos harness only).
+
+        ``crash`` raises a :class:`WorkerCrashError` (the typed shape a
+        real pool-worker death surfaces as); ``slow`` sleeps; ``hang``
+        wedges until the sentinel's deadline releases it — exactly the
+        runaway a production sentinel exists to cancel. Wire-level
+        kinds (``corrupt``/``torn-socket``) are applied by the socket
+        handler, not here.
+        """
+        chaos = query.request.get("_chaos")
+        if chaos is None:
+            return
+        spec, attempt = chaos
+        if spec.kind == "crash":
+            exc = WorkerCrashError(
+                f"injected chaos crash (attempt {attempt})",
+                attempts=attempt + 1,
+            )
+            self._record_flight(
+                query,
+                graph,
+                texts,
+                options,
+                status="error",
+                error=f"WorkerCrashError: {exc}",
+            )
+            raise exc
+        if spec.kind == "slow":
+            time.sleep(spec.seconds)
+        elif spec.kind == "hang":
+            stop = sentinel.deadline if sentinel is not None else query.deadline
+            if stop is None:
+                raise ValueError(
+                    "a 'hang' chaos fault needs a wall budget or deadline "
+                    "to release it — configure one for this server"
+                )
+            while not stop.expired():
+                time.sleep(0.005)
+
+    def _run_query(
+        self,
+        query: Query,
+        resident,
+        texts: list,
+        patterns: list,
+        options: RunOptions,
+        run_options: RunOptions,
+        queue_wait: float,
+    ) -> dict:
+        """Cache check + session run + response build for one query."""
+        request = query.request
         use_cache = self.result_cache_enabled and bool(
             request.get("use_result_cache", True)
         )
@@ -334,7 +567,7 @@ class MiningServer:
             ):
                 session = MorphingSession(
                     engine,
-                    options=options.replace(
+                    options=run_options.replace(
                         trace=tracer,
                         plan_cache=self.plan_cache,
                         cache=self._measurement_cache(resident.name),
@@ -530,6 +763,120 @@ class MiningServer:
                 cache = self._measurement_caches[graph_name] = MeasurementCache()
             return cache
 
+    def _on_breaker_transition(self, cell: str, old: str, new: str) -> None:
+        """Record one circuit-breaker state change (metric + anomaly)."""
+        self.metrics.add(f"serve.breaker.transition.{new}")
+        self.flight.note("breaker", f"{cell}: {old} -> {new}")
+
+    # -- drain and warm restart ----------------------------------------------
+
+    @property
+    def drain_state(self) -> str:
+        """Service lifecycle state: ``accepting``/``draining``/``closed``."""
+        with self._lock:
+            return self._drain_state
+
+    def drain(self, dump_dir: str | None = None) -> dict:
+        """Graceful stop: finish in-flight work, persist, then close.
+
+        The SIGTERM path (and the ``drain`` op). State machine:
+        ``accepting`` → ``draining`` (submissions rejected with
+        ``rejected:draining``, queued/executing queries run to
+        completion under ``drain_deadline_s``) → ``closed`` (listener
+        down, every :class:`SharedGraphPayload` disposed). Before
+        closing, the flight recorder is dumped (to ``dump_dir`` or a
+        temp directory) and — when ``state_path`` is configured — the
+        registry manifest and result-cache journal are saved so
+        ``repro serve --resume`` reboots warm. Idempotent: a second
+        call reports the current state without re-draining.
+        """
+        with self._lock:
+            if self._drain_state != "accepting":
+                return {"state": self._drain_state, "drained": False}
+            self._drain_state = "draining"
+        self.metrics.add("serve.drain.started")
+        self.flight.note("drain", "drain started")
+        self.scheduler.set_draining(True)
+        deadline = Deadline(self.drain_deadline_s, clock=self.scheduler.clock)
+        drained = True
+        while self.scheduler.total_inflight() > 0:
+            if deadline.expired():
+                drained = False
+                break
+            time.sleep(0.01)
+        summary: dict[str, Any] = {
+            "drained": drained,
+            "abandoned": self.scheduler.total_inflight(),
+        }
+        self.flight.note(
+            "drain",
+            "drained clean" if drained else
+            f"drain deadline expired with {summary['abandoned']} in flight",
+        )
+        directory, files = self.dump_flight(dump_dir)
+        summary["flight_dir"] = directory
+        summary["flight_files"] = len(files)
+        if self.state_path is not None:
+            try:
+                entries = save_service_state(
+                    self.state_path,
+                    graphs=self.registry.names(),
+                    result_cache=dict(self._result_cache),
+                    meta={"drained": drained},
+                )
+                summary["state_entries"] = entries
+                self.metrics.add("serve.drain.state_saved")
+            except OSError as exc:
+                warnings.warn(
+                    f"could not persist service state to "
+                    f"{self.state_path}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                summary["state_error"] = str(exc)
+        self.close()
+        with self._lock:
+            self._drain_state = "closed"
+        summary["state"] = "closed"
+        return summary
+
+    def resume_from(self, path: str) -> dict:
+        """Warm-restart from a drain journal written by :meth:`drain`.
+
+        Reloads every graph named in the manifest (failures warn and
+        skip — a path that vanished between incarnations must not stop
+        the daemon booting) and installs the persisted result-cache
+        entries. Keys embed the graph fingerprint, so entries for a
+        graph whose data changed simply never match again.
+        """
+        state = load_service_state(path)
+        loaded: list[str] = []
+        failed: list[str] = []
+        for name in state.graphs:
+            try:
+                self.registry.load(name)
+                loaded.append(name)
+            except Exception as exc:  # noqa: BLE001 - boot must proceed
+                warnings.warn(
+                    f"could not re-load resident graph {name!r} on resume: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                failed.append(name)
+        with self._lock:
+            self._result_cache.update(state.results)
+        self.metrics.add("serve.resume.graphs", len(loaded))
+        self.metrics.add("serve.resume.results", len(state.results))
+        if state.skipped:
+            self.metrics.add("serve.resume.skipped_records", state.skipped)
+        return {
+            "graphs": loaded,
+            "failed": failed,
+            "results": len(state.results),
+            "skipped_records": state.skipped,
+        }
+
     # -- socket front-end ----------------------------------------------------
 
     def start(self) -> tuple[str, int]:
@@ -540,6 +887,14 @@ class MiningServer:
         """
         if self._tcp is not None:
             return self.host, self.port
+        if self.sweep_on_start:
+            # Reclaim shared-memory segments a SIGKILLed predecessor
+            # daemon left in /dev/shm (warns with the segment names).
+            from repro.engines.execution import sweep_stale_segments
+
+            swept = sweep_stale_segments()
+            if swept:
+                self.metrics.add("serve.segments.swept", len(swept))
         self._started = self.scheduler.clock()
         self._stop.clear()
         self._closed.clear()
@@ -581,9 +936,14 @@ class MiningServer:
     def _sampler_loop(self) -> None:
         """Periodic queue-depth sampling (the satellite to admission-time
         gauging): keeps the window gauge's envelope honest when the
-        queue drains or bursts between protocol requests."""
+        queue drains or bursts between protocol requests. The same beat
+        polls the sentinel board, so wall/RSS budget overruns are
+        detected within one sample interval."""
         while not self._stop.wait(self.sample_interval):
             self.scheduler.sample_depth()
+            for query_id, reason in self.sentinels.poll():
+                self.metrics.add(f"serve.sentinel.trip.{reason}")
+                self.flight.note("sentinel-trip", f"{query_id}: {reason}")
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until :meth:`close` runs (the ``repro serve`` main loop)."""
@@ -599,6 +959,7 @@ class MiningServer:
         self._closed.set()
         with self._lock:
             tcp, self._tcp = self._tcp, None
+            self._drain_state = "closed"
         if tcp is not None:
             tcp.shutdown()
             tcp.server_close()
@@ -630,23 +991,67 @@ class _TCPServer(socketserver.ThreadingTCPServer):
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: a loop of request → :meth:`MiningServer.handle`."""
+    """One connection: a loop of request → :meth:`MiningServer.handle`.
+
+    Protocol errors are *answered*, not dropped: a torn or non-JSON
+    request line gets a typed ``protocol-error`` response (and a
+    flight-recorder anomaly) before the connection closes — a client
+    whose serializer glitched learns so, instead of staring at a
+    silently closed socket. The stream state after a bad line is
+    unknowable, so the connection still ends afterwards.
+    """
 
     def handle(self) -> None:
         server: MiningServer = self.server.mining_server  # type: ignore[attr-defined]
         while True:
             try:
                 request = protocol.read_message(self.rfile)
-            except (ValueError, ConnectionError, socket.error):
+            except (ConnectionError, socket.error):
+                break
+            except ValueError as exc:
+                # Malformed request line (bad JSON, non-object, torn
+                # UTF-8): typed response, anomaly, then hang up.
+                server.metrics.add("serve.protocol.errors")
+                server.flight.note(
+                    "protocol-error", f"{type(exc).__name__}: {exc}"
+                )
+                try:
+                    protocol.write_message(
+                        self.wfile,
+                        {
+                            "ok": False,
+                            "error": (
+                                "protocol-error: request line is not a "
+                                f"JSON object ({type(exc).__name__}: {exc})"
+                            ),
+                        },
+                    )
+                except (ConnectionError, socket.error, BrokenPipeError):
+                    pass
                 break
             if request is None:
                 break
             response = server.handle(request)
+            wire_fault = None
+            if isinstance(response, dict):
+                wire_fault = response.pop("_chaos_wire", None)
+            if wire_fault == "torn-socket":
+                # Chaos harness: drop the connection without answering.
+                break
             try:
-                protocol.write_message(self.wfile, response)
+                if wire_fault == "corrupt":
+                    # Chaos harness: an unparsable response line.
+                    self.wfile.write(b"\x00corrupted-response-frame\n")
+                    self.wfile.flush()
+                else:
+                    protocol.write_message(self.wfile, response)
             except (ConnectionError, socket.error, BrokenPipeError):
                 break
             if request.get("op") == "shutdown":
                 # The ack is on the wire; now the daemon may die.
                 threading.Thread(target=server.close, daemon=True).start()
+                break
+            if request.get("op") == "drain":
+                # Ack flushed; drain (and eventually close) off-thread.
+                threading.Thread(target=server.drain, daemon=True).start()
                 break

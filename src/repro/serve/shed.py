@@ -1,0 +1,173 @@
+"""Adaptive load shedding: reject what the daemon cannot serve in time.
+
+Admission control (PR 8) bounds *how much* work may queue; it says
+nothing about whether the daemon is keeping up with the work it
+admitted. Under sustained overload every queued query ages toward its
+deadline and the service degrades for all clients at once — the classic
+failure mode load shedding exists to prevent: it is better to reject a
+few requests quickly (with an honest retry hint) than to serve every
+request late.
+
+:class:`ShedController` turns the PR 9 telemetry into that decision.
+Two deterministic signals feed it:
+
+* the **p99 of ``serve.latency.total``** (the end-to-end latency
+  histogram the server already maintains) against a configured SLO —
+  when the tail exceeds the objective, low-priority work is shed until
+  it recovers;
+* the **deadline-feasibility bound**: with the queue ``d`` deep and a
+  per-query service estimate ``s``, a newly arriving query waits about
+  ``d * s`` before starting, so when that projected wait exceeds the
+  SLO the queue is already unservable for latency-sensitive callers.
+
+Both signals are pure functions of (histogram state, queue depth), so a
+test that pre-loads the histogram and pins the queue depth gets the
+same verdict every time — no wall clock, no randomness. Shed verdicts
+carry ``retry_after_s``, an estimate of how long the current backlog
+needs to drain, which the resilient client honors before retrying.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.observe.metrics import MetricsRegistry
+
+__all__ = ["ShedController", "ShedDecision"]
+
+#: Shed verdict (wire error + admission verdict form).
+REJECTED_OVERLOAD = "rejected:overload"
+
+#: Histogram name the controller reads (maintained by the server).
+LATENCY_METRIC = "serve.latency.total"
+
+
+@dataclass(frozen=True)
+class ShedDecision:
+    """One shed verdict plus the evidence it was computed from."""
+
+    shed: bool
+    #: ``"slo-p99"`` / ``"queue-infeasible"`` when shedding, else ``None``.
+    reason: str | None = None
+    #: Suggested client backoff before retrying (``None`` when admitted).
+    retry_after_s: float | None = None
+    #: The p99 the decision saw (``None`` with too few samples).
+    p99: float | None = None
+    queue_depth: int = 0
+
+
+class ShedController:
+    """Deterministic overload gate in front of the admission policy.
+
+    ``slo_p99`` is the latency objective in seconds; ``None`` disables
+    shedding entirely (the controller always admits). Queries with
+    ``priority >= protect_priority`` are never shed — overload control
+    exists precisely so high-priority traffic keeps flowing while
+    best-effort traffic absorbs the rejects. ``min_samples`` guards the
+    cold start: a histogram with fewer observations cannot estimate a
+    tail, so the controller admits until the signal is real.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        slo_p99: float | None = None,
+        protect_priority: int = 1,
+        min_samples: int = 8,
+        estimated_service_seconds: float = 0.0,
+        retry_after_floor: float = 0.1,
+    ) -> None:
+        if slo_p99 is not None and slo_p99 <= 0:
+            raise ValueError(f"slo_p99 must be positive, got {slo_p99!r}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples!r}")
+        self.metrics = metrics
+        self.slo_p99 = slo_p99
+        self.protect_priority = protect_priority
+        self.min_samples = min_samples
+        self.estimated_service_seconds = estimated_service_seconds
+        self.retry_after_floor = retry_after_floor
+        self._lock = threading.Lock()
+        self._shed_total = 0
+        self._by_reason: dict[str, int] = {}
+
+    # -- decision -----------------------------------------------------------
+
+    def evaluate(self, priority: int, queue_depth: int) -> ShedDecision:
+        """The shed verdict for one arriving query.
+
+        Pure in its inputs: the verdict depends only on the latency
+        histogram's current state, ``queue_depth``, and ``priority``.
+        Counters update only when the verdict is *shed*.
+        """
+        if self.slo_p99 is None or priority >= self.protect_priority:
+            return ShedDecision(shed=False, queue_depth=queue_depth)
+        histogram = self.metrics.histogram(LATENCY_METRIC)
+        p99 = (
+            histogram.quantile(0.99)
+            if histogram.count >= self.min_samples
+            else None
+        )
+        reason = None
+        if p99 is not None and p99 > self.slo_p99:
+            reason = "slo-p99"
+        else:
+            projected_wait = queue_depth * self.estimated_service_seconds
+            if projected_wait > self.slo_p99 > 0:
+                reason = "queue-infeasible"
+        if reason is None:
+            return ShedDecision(shed=False, p99=p99, queue_depth=queue_depth)
+        retry_after = self._retry_after(p99, queue_depth)
+        with self._lock:
+            self._shed_total += 1
+            self._by_reason[reason] = self._by_reason.get(reason, 0) + 1
+        return ShedDecision(
+            shed=True,
+            reason=reason,
+            retry_after_s=retry_after,
+            p99=p99,
+            queue_depth=queue_depth,
+        )
+
+    def _retry_after(self, p99: float | None, queue_depth: int) -> float:
+        """Deterministic backlog-drain estimate for the retry hint.
+
+        The backlog of ``d`` queries drains in roughly ``d * s`` where
+        ``s`` is the better of the configured estimate and the observed
+        p50; floor it so clients never busy-spin on a zero hint.
+        """
+        service = self.estimated_service_seconds
+        histogram = self.metrics.histogram(LATENCY_METRIC)
+        if histogram.count >= self.min_samples:
+            service = max(service, histogram.quantile(0.50))
+        hint = max(queue_depth, 1) * service
+        if p99 is not None:
+            hint = max(hint, p99)
+        return max(hint, self.retry_after_floor)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def shed_total(self) -> int:
+        """Queries shed since construction."""
+        with self._lock:
+            return self._shed_total
+
+    def snapshot(self) -> dict[str, Any]:
+        """Wire-safe controller state for the ``stats`` op."""
+        histogram = self.metrics.histogram(LATENCY_METRIC)
+        p99 = (
+            histogram.quantile(0.99)
+            if histogram.count >= self.min_samples
+            else None
+        )
+        with self._lock:
+            return {
+                "slo_p99": self.slo_p99,
+                "p99": p99,
+                "protect_priority": self.protect_priority,
+                "shed_total": self._shed_total,
+                "by_reason": dict(self._by_reason),
+            }

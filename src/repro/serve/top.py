@@ -163,6 +163,47 @@ class TopDashboard:
             f"recent, {flight.get('anomalies', 0)} anomalies "
             f"(slow > {flight.get('slow_factor', '?')}x predicted)"
         )
+
+        # Robustness sections are schema-v3; older daemons (and v2 test
+        # fixtures) simply omit them, so every read is .get-guarded.
+        service = stats.get("service") or {}
+        shed = stats.get("shed") or {}
+        sentinels = stats.get("sentinels") or {}
+        if service or shed or sentinels:
+            state = service.get("state", "?")
+            shed_total = shed.get("shed_total", 0)
+            slo = shed.get("slo_p99")
+            line = f"service: {state}   shed {shed_total}"
+            by_reason = shed.get("by_reason") or {}
+            if by_reason:
+                detail = ", ".join(
+                    f"{reason} {count}"
+                    for reason, count in sorted(by_reason.items())
+                )
+                line += f" ({detail})"
+            line += f"   slo p99 {_fmt_seconds(slo) if slo is not None else '-'}"
+            trips = sentinels.get("trips", 0)
+            if isinstance(trips, dict):
+                trips = sum(trips.values())
+            line += (
+                f"   sentinels {sentinels.get('active', 0)} active / "
+                f"{trips} trips"
+            )
+            lines.append(line)
+        breakers = stats.get("breakers") or {}
+        if breakers:
+            lines.append("breakers:")
+            for cell, breaker in sorted(breakers.items()):
+                state = breaker.get("state", "?")
+                marker = {"closed": " ", "half-open": "~", "open": "!"}.get(
+                    state, "?"
+                )
+                lines.append(
+                    f"  {marker} {cell:<24} {state:<10} "
+                    f"fails {breaker.get('consecutive_failures', 0)}/"
+                    f"{breaker.get('failure_threshold', '?')}  "
+                    f"transitions {breaker.get('transitions', 0)}"
+                )
         anomalies = flight.get("recent_anomalies") or []
         if anomalies:
             lines.append("slow/failed queries:")

@@ -32,13 +32,24 @@ from a seed for property-style tests.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
-__all__ = ["FaultPlan", "FaultSpec", "InjectedWorkerCrash"]
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedWorkerCrash",
+    "QueryFaultPlan",
+    "QueryFaultSpec",
+]
 
 _KINDS = ("crash", "hang", "slow", "corrupt")
+
+#: Query-scoped kinds: the shard kinds plus two wire-level failures the
+#: *service* (not the execution layer) must survive.
+_QUERY_KINDS = ("crash", "hang", "slow", "corrupt", "torn-socket")
 
 
 class InjectedWorkerCrash(RuntimeError):
@@ -197,3 +208,120 @@ class FaultPlan:
         if isinstance(value, list):
             return value[:-1] if value else value
         return value
+
+
+@dataclass(frozen=True)
+class QueryFaultSpec:
+    """One query's injected failure mode in the resident service.
+
+    Query-scoped kinds split between the execution path and the wire:
+
+    * ``crash`` — the query's run dies as a worker crash (the server
+      answers with the typed ``worker-crash`` error and the circuit
+      breaker counts a failure).
+    * ``hang`` — the query wedges until its sentinel cancels it.
+    * ``slow`` — the query sleeps ``seconds`` before running (latency
+      pressure for the shed controller).
+    * ``corrupt`` — the *response bytes* are garbled on the wire, so the
+      client sees an unparsable line and must retry; the daemon's own
+      state stays correct.
+    * ``torn-socket`` — the connection is dropped before the response is
+      written; the client sees EOF mid-request and must retry.
+
+    ``times`` bounds how many *attempts* of the same query index the
+    fault affects (``None`` = every attempt), exactly like
+    :class:`FaultSpec` — which is how client-side retry convergence is
+    proven.
+    """
+
+    kind: str
+    times: int | None = 1
+    seconds: float = 0.05
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _QUERY_KINDS:
+            raise ValueError(
+                f"unknown query fault kind {self.kind!r}; "
+                f"choose from {_QUERY_KINDS}"
+            )
+
+    def active(self, attempt: int) -> bool:
+        """Whether this spec fires on the given (0-based) attempt."""
+        return self.times is None or attempt < self.times
+
+
+class QueryFaultPlan:
+    """Query-index-keyed fault schedule for the resident service.
+
+    The chaos harness installs one of these on a :class:`MiningServer`;
+    each arriving ``run`` request carries a client-chosen ``query
+    index`` (its position in the driving workload), and the plan tracks
+    per-index *attempt* counters server-side so a retried request of the
+    same index advances to the next attempt. ``begin`` is the single
+    entry point: it burns one attempt and returns ``(spec, attempt)``
+    so wire-level and execution-level fault sites observe the same
+    attempt number for one request.
+    """
+
+    def __init__(
+        self, specs: Mapping[int, QueryFaultSpec] | None = None
+    ) -> None:
+        self.specs: dict[int, QueryFaultSpec] = dict(specs or {})
+        self._attempts: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{i}:{s.kind}x{s.times if s.times is not None else 'inf'}"
+            for i, s in sorted(self.specs.items())
+        )
+        return f"QueryFaultPlan({{{inner}}})"
+
+    @classmethod
+    def random(
+        cls,
+        num_queries: int,
+        seed: int,
+        p_fault: float = 0.3,
+        kinds: tuple[str, ...] = _QUERY_KINDS,
+        max_times: int = 2,
+    ) -> "QueryFaultPlan":
+        """Seed-derived plan; same seed, same plan, always."""
+        rng = random.Random(seed)
+        specs: dict[int, QueryFaultSpec] = {}
+        for index in range(num_queries):
+            if rng.random() < p_fault:
+                kind = rng.choice(list(kinds))
+                specs[index] = QueryFaultSpec(
+                    kind,
+                    times=rng.randint(1, max_times),
+                    seconds=0.01 * rng.randint(1, 3),
+                )
+        return cls(specs)
+
+    def begin(self, query_index: int | None) -> tuple[QueryFaultSpec | None, int]:
+        """Burn one attempt of ``query_index``; the spec that fires, if any.
+
+        Returns ``(spec, attempt)`` where ``spec`` is ``None`` when no
+        fault is scheduled for this attempt. ``None`` indexes (requests
+        outside the chaos workload) never fault.
+        """
+        if query_index is None:
+            return None, 0
+        with self._lock:
+            attempt = self._attempts.get(query_index, 0)
+            self._attempts[query_index] = attempt + 1
+        return self.spec_for(query_index, attempt), attempt
+
+    def spec_for(
+        self, query_index: int, attempt: int
+    ) -> QueryFaultSpec | None:
+        """The spec that fires for this (query, attempt), if any."""
+        spec = self.specs.get(query_index)
+        if spec is not None and spec.active(attempt):
+            return spec
+        return None
